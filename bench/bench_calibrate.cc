@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Calibration tool (not a paper figure): prints detailed isolated-run
+ * microarchitectural statistics for every workload profile so profile
+ * parameters can be tuned against the published characteristics.
+ *
+ * Usage: bench_calibrate [name...]   (default: all profiles)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+
+namespace
+{
+
+void
+report(const std::string &name)
+{
+    sim::RunConfig cfg;
+    cfg.samples = 2;
+    cfg.warmupOps = 8000;
+    cfg.measureOps = 20000;
+    sim::RunResult full = sim::runIsolated(name, cfg);
+    sim::RunResult half = sim::runIsolatedWithRob(name, 96, cfg);
+    sim::RunResult quarter = sim::runIsolatedWithRob(name, 48, cfg);
+
+    const ThreadStats &st = full.stats[0];
+    double ops = static_cast<double>(st.committedOps);
+    double cyc = static_cast<double>(full.totalCycles);
+    std::printf(
+        "%-16s uipc %.3f  rob96 %+5.1f%%  rob48 %+5.1f%%  "
+        "brMPKI %5.1f  btbMPKI %5.1f  l1dMPKI %5.1f  l1iMPKI %5.1f  "
+        "llcMPKI %5.1f  mlp>=2 %4.1f%%  mlp>=3 %4.1f%%  robOcc %5.1f  "
+        "stallI$ %4.1f%%  stallBr %4.1f%%\n",
+        name.c_str(), full.uipc[0],
+        (half.uipc[0] / full.uipc[0] - 1.0) * 100.0,
+        (quarter.uipc[0] / full.uipc[0] - 1.0) * 100.0,
+        full.branchMpki(0),
+        1000.0 * static_cast<double>(st.btbTargetMisses) / ops,
+        full.l1dMpki(0),
+        1000.0 * static_cast<double>(full.l1iMissCount[0]) / ops,
+        1000.0 * static_cast<double>(full.llcMissCount[0]) / ops,
+        full.mlpAtLeast(0, 2) * 100.0, full.mlpAtLeast(0, 3) * 100.0,
+        static_cast<double>(st.robOccupancySum) / cyc,
+        100.0 * static_cast<double>(st.fetchStallICache) / cyc,
+        100.0 * static_cast<double>(st.fetchStallBranchResolve) / cyc);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty()) {
+        for (const auto &p : workloads::all())
+            names.push_back(p.name);
+    }
+    std::printf("isolated full-machine runs; rob96/rob48 = UIPC change vs "
+                "192-entry ROB\n");
+    for (const auto &n : names)
+        report(n);
+    return 0;
+}

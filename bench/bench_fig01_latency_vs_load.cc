@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 1: Web Search average, 95th- and 99th-percentile latency as a
+ * function of load (fraction of the calibrated peak sustainable load),
+ * with the 100 ms p99 QoS target.
+ *
+ * Paper reference points: average latency grows ~43% from lowest to
+ * highest load while the 99th percentile grows by over 2.5x as queueing
+ * sets in.
+ */
+
+#include <vector>
+
+#include "common.h"
+#include "queueing/load_study.h"
+
+using namespace stretch;
+using namespace stretch::bench;
+using namespace stretch::queueing;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    const ServiceSpec &spec = serviceSpec("web_search");
+    StudyKnobs knobs;
+    if (opt.quick)
+        knobs.requests = 12000;
+    else if (opt.paper)
+        knobs.requests = 200000;
+
+    double peak = peakLoadRate(spec, knobs);
+
+    std::vector<double> steps;
+    for (int i = 1; i <= 10; ++i)
+        steps.push_back(i / 10.0);
+    auto points = latencyVsLoad(spec, peak, steps, knobs);
+
+    stats::Table table("Figure 1: Web Search latency vs load (QoS target "
+                       "100 ms @ p99)");
+    table.setHeader({"load", "average (ms)", "p95 (ms)", "p99 (ms)",
+                     "meets QoS"});
+    for (const auto &p : points) {
+        table.addRow({stats::Table::num(p.loadFraction * 100, 0) + "%",
+                      stats::Table::num(p.latency.meanMs),
+                      stats::Table::num(p.latency.p95Ms),
+                      stats::Table::num(p.latency.p99Ms),
+                      p.latency.p99Ms <= spec.qosTargetMs ? "yes" : "no"});
+    }
+    emit(table, opt);
+
+    double avg_growth =
+        points.back().latency.meanMs / points.front().latency.meanMs - 1.0;
+    double p99_growth =
+        points.back().latency.p99Ms / points.front().latency.p99Ms;
+
+    stats::Table summary("Shape check");
+    summary.setHeader({"metric", "measured", "paper"});
+    summary.addRow({"peak load (req/ms)", stats::Table::num(peak, 3), "-"});
+    summary.addRow({"average growth low->peak",
+                    stats::Table::pct(avg_growth), "+43%"});
+    summary.addRow({"p99 growth low->peak",
+                    stats::Table::num(p99_growth, 2) + "x", "> 2.5x"});
+    emit(summary, opt);
+    return 0;
+}

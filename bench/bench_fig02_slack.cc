@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 2 (and Table I): performance slack of the four latency-sensitive
+ * services. For each load step, the minimum fraction of full core
+ * performance that still meets the service's QoS target, measured with
+ * the Elfen-style duty-cycle modulator.
+ *
+ * Paper reference points: at 20% load, 55-90% of single-thread performance
+ * can be sacrificed (10-45% required); at 50% load, 30-70% required; at
+ * 80% load, at least 80% of full performance is required.
+ */
+
+#include <vector>
+
+#include "common.h"
+#include "queueing/load_study.h"
+
+using namespace stretch;
+using namespace stretch::bench;
+using namespace stretch::queueing;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    StudyKnobs knobs;
+    if (opt.quick)
+        knobs.requests = 10000;
+    else if (opt.paper)
+        knobs.requests = 80000;
+
+    stats::Table spec_table("Table I: services and QoS targets");
+    spec_table.setHeader(
+        {"service", "mean demand (ms)", "QoS target", "percentile"});
+    for (const auto &spec : allServiceSpecs()) {
+        spec_table.addRow({spec.displayName,
+                           stats::Table::num(spec.meanServiceMs, 1),
+                           stats::Table::num(spec.qosTargetMs, 0) + " ms",
+                           "p" + stats::Table::num(spec.tailPercentile, 1)});
+    }
+    emit(spec_table, opt);
+
+    std::vector<double> steps;
+    for (int i = 1; i <= 10; ++i)
+        steps.push_back(i / 10.0);
+
+    stats::Table table("Figure 2: performance required to meet QoS target "
+                       "(fraction of full core)");
+    std::vector<std::string> header = {"load"};
+    for (const auto &spec : allServiceSpecs())
+        header.push_back(spec.displayName);
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> required(allServiceSpecs().size());
+    std::size_t done = 0;
+    for (std::size_t s = 0; s < allServiceSpecs().size(); ++s) {
+        const ServiceSpec &spec = allServiceSpecs()[s];
+        double peak = peakLoadRate(spec, knobs);
+        for (double f : steps) {
+            required[s].push_back(
+                requiredPerfFraction(spec, peak, f, knobs));
+            progress("fig02", ++done, allServiceSpecs().size() * steps.size());
+        }
+    }
+
+    for (std::size_t k = 0; k < steps.size(); ++k) {
+        std::vector<std::string> row = {
+            stats::Table::num(steps[k] * 100, 0) + "%"};
+        for (std::size_t s = 0; s < allServiceSpecs().size(); ++s) {
+            row.push_back(stats::Table::num(required[s][k] * 100, 0) + "%");
+        }
+        table.addRow(row);
+    }
+    emit(table, opt);
+
+    stats::Table paper("Paper reference (Section II)");
+    paper.setHeader({"load", "performance required"});
+    paper.addRow({"20%", "10-45% (slack 55-90%)"});
+    paper.addRow({"50%", "30-70%"});
+    paper.addRow({"80%", ">= 80%"});
+    emit(paper, opt);
+    return 0;
+}

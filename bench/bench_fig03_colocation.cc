@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 3: slowdown incurred by colocating latency-sensitive and batch
+ * applications on the baseline SMT core (equal ROB partitioning), as
+ * violin distributions per latency-sensitive service, normalised to
+ * stand-alone execution on a full core.
+ *
+ * Paper reference points: latency-sensitive slowdown 14% avg / 28% max;
+ * batch slowdown 24% avg / 46% max.
+ */
+
+#include <vector>
+
+#include "common.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+using namespace stretch::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    stats::Table table("Figure 3: SMT colocation slowdown vs full core "
+                       "(equal ROB partition)");
+    std::vector<std::string> header = {"LS service", "side"};
+    for (const auto &h : violinHeader("slowdown"))
+        header.push_back(h);
+    table.setHeader(header);
+
+    std::vector<double> all_ls, all_batch;
+    std::size_t total =
+        workloads::latencySensitiveNames().size() *
+        workloads::batchNames().size();
+    std::size_t done = 0;
+
+    for (const auto &ls : workloads::latencySensitiveNames()) {
+        std::vector<double> ls_slow, batch_slow;
+        for (const auto &batch : workloads::batchNames()) {
+            sim::RunConfig cfg = baseConfig(opt);
+            cfg.workload0 = ls;
+            cfg.workload1 = batch;
+            cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+            const sim::RunResult &co = cachedRun(cfg);
+            double iso_ls = isolatedRun(ls, opt).uipc[0];
+            double iso_batch = isolatedRun(batch, opt).uipc[0];
+            ls_slow.push_back(1.0 - co.uipc[0] / iso_ls);
+            batch_slow.push_back(1.0 - co.uipc[1] / iso_batch);
+            progress("fig03", ++done, total);
+        }
+        all_ls.insert(all_ls.end(), ls_slow.begin(), ls_slow.end());
+        all_batch.insert(all_batch.end(), batch_slow.begin(),
+                         batch_slow.end());
+
+        std::vector<std::string> row = {ls, "latency-sensitive"};
+        for (const auto &c : violinCells(stats::summarize(ls_slow)))
+            row.push_back(c);
+        table.addRow(row);
+        row = {ls, "batch"};
+        for (const auto &c : violinCells(stats::summarize(batch_slow)))
+            row.push_back(c);
+        table.addRow(row);
+    }
+
+    std::vector<std::string> row = {"ALL", "latency-sensitive"};
+    for (const auto &c : violinCells(stats::summarize(all_ls)))
+        row.push_back(c);
+    table.addRow(row);
+    row = {"ALL", "batch"};
+    for (const auto &c : violinCells(stats::summarize(all_batch)))
+        row.push_back(c);
+    table.addRow(row);
+
+    emit(table, opt);
+
+    stats::Table paper("Paper reference (Section III-A)");
+    paper.setHeader({"side", "avg", "max"});
+    paper.addRow({"latency-sensitive", "14%", "28%"});
+    paper.addRow({"batch", "24%", "46%"});
+    emit(paper, opt);
+    return 0;
+}

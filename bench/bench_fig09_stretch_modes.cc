@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 9: performance change of the Stretch B-mode and Q-mode
+ * configurations across all 116 colocations, as violin distributions per
+ * ROB skew, normalised to the equally-partitioned baseline core.
+ *
+ * Paper reference points: B-mode 56-136 gives batch +13% avg / +30% max
+ * with LS -7% avg / -13% worst; B-mode 32-160 gives batch +18% avg / +40%
+ * max; Q-mode 136-56 gives LS +7% avg / +18% max at batch -21% avg / -35%
+ * worst.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "common.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+using namespace stretch::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    // Skews are written LS-batch as in the paper.
+    const std::vector<std::pair<unsigned, unsigned>> bmodes = {
+        {64, 128}, {56, 136}, {48, 144}, {40, 152}, {32, 160}};
+    const std::vector<std::pair<unsigned, unsigned>> qmodes = {
+        {128, 64}, {136, 56}, {144, 48}, {152, 40}, {160, 32}};
+
+    std::size_t pairs = workloads::latencySensitiveNames().size() *
+                        workloads::batchNames().size();
+    std::size_t total = pairs * (bmodes.size() + qmodes.size() + 1);
+    std::size_t done = 0;
+
+    stats::Table table("Figure 9: Stretch mode speedup vs equal ROB "
+                       "partition");
+    std::vector<std::string> header = {"skew (LS-batch)", "side"};
+    for (const auto &h : violinHeader("speedup"))
+        header.push_back(h);
+    table.setHeader(header);
+
+    auto evaluate = [&](const std::vector<std::pair<unsigned, unsigned>>
+                            &skews,
+                        const char *label) {
+        for (auto [ls_rob, batch_rob] : skews) {
+            std::vector<double> ls_change, batch_change;
+            forEachPair([&](const std::string &ls, const std::string &batch) {
+                sim::RunConfig cfg = baseConfig(opt);
+                cfg.workload0 = ls;
+                cfg.workload1 = batch;
+                cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+                const sim::RunResult &base = cachedRun(cfg);
+
+                cfg.rob.kind = sim::RobConfigKind::Asymmetric;
+                cfg.rob.limit0 = ls_rob;
+                cfg.rob.limit1 = batch_rob;
+                const sim::RunResult &mode = cachedRun(cfg);
+
+                ls_change.push_back(mode.uipc[0] / base.uipc[0] - 1.0);
+                batch_change.push_back(mode.uipc[1] / base.uipc[1] - 1.0);
+                progress("fig09", ++done, total);
+            });
+            std::string skew = std::to_string(ls_rob) + "-" +
+                               std::to_string(batch_rob) + " " + label;
+            std::vector<std::string> row = {skew, "latency-sensitive"};
+            for (const auto &c : violinCells(stats::summarize(ls_change)))
+                row.push_back(c);
+            table.addRow(row);
+            row = {skew, "batch"};
+            for (const auto &c : violinCells(stats::summarize(batch_change)))
+                row.push_back(c);
+            table.addRow(row);
+        }
+    };
+
+    // Warm the baseline cache so the progress meter adds up.
+    forEachPair([&](const std::string &ls, const std::string &batch) {
+        sim::RunConfig cfg = baseConfig(opt);
+        cfg.workload0 = ls;
+        cfg.workload1 = batch;
+        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+        cachedRun(cfg);
+        progress("fig09", ++done, total);
+    });
+
+    evaluate(bmodes, "(B)");
+    evaluate(qmodes, "(Q)");
+    emit(table, opt);
+
+    stats::Table paper("Paper reference (Section VI-A)");
+    paper.setHeader({"config", "batch", "latency-sensitive"});
+    paper.addRow({"B 56-136", "+13% avg, +30% max", "-7% avg, -13% worst"});
+    paper.addRow({"B 32-160", "+18% avg, +40% max", "-"});
+    paper.addRow({"Q 136-56", "-21% avg, -35% worst", "+7% avg, +18% max"});
+    emit(paper, opt);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 11: slowdown of batch applications when the ROB is dynamically
+ * shared (no partitioning) instead of equally partitioned, per
+ * latency-sensitive co-runner, sorted; plus the latency-sensitive side
+ * (which improves slightly).
+ *
+ * Paper reference points: batch loses 8% avg / 49% max under dynamic
+ * sharing; colocations with Data Serving are the worst (20% avg); the
+ * latency-sensitive side gains 4% avg / 11% max.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "common.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+using namespace stretch::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    std::size_t pairs = workloads::latencySensitiveNames().size() *
+                        workloads::batchNames().size();
+    std::size_t done = 0;
+
+    stats::Table table("Figure 11: batch slowdown under dynamically shared "
+                       "ROB vs equal partition");
+    table.setHeader({"LS service", "rank", "batch app", "batch slowdown"});
+
+    stats::Table summary("Summary per LS service");
+    std::vector<std::string> header = {"LS service", "batch avg",
+                                       "batch max", "LS avg", "LS max"};
+    summary.setHeader(header);
+
+    std::vector<double> all_batch, all_ls;
+    for (const auto &ls : workloads::latencySensitiveNames()) {
+        std::vector<std::pair<double, std::string>> slows;
+        std::vector<double> ls_gain;
+        for (const auto &batch : workloads::batchNames()) {
+            sim::RunConfig cfg = baseConfig(opt);
+            cfg.workload0 = ls;
+            cfg.workload1 = batch;
+            cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+            const sim::RunResult &base = cachedRun(cfg);
+            cfg.rob.kind = sim::RobConfigKind::DynamicShared;
+            const sim::RunResult &dyn = cachedRun(cfg);
+            slows.emplace_back(1.0 - dyn.uipc[1] / base.uipc[1], batch);
+            ls_gain.push_back(dyn.uipc[0] / base.uipc[0] - 1.0);
+            progress("fig11", ++done, pairs);
+        }
+        std::sort(slows.rbegin(), slows.rend());
+        for (std::size_t i = 0; i < slows.size(); ++i) {
+            table.addRow({ls, std::to_string(i + 1), slows[i].second,
+                          stats::Table::pct(slows[i].first)});
+        }
+        std::vector<double> just_slow;
+        for (const auto &s : slows)
+            just_slow.push_back(s.first);
+        all_batch.insert(all_batch.end(), just_slow.begin(),
+                         just_slow.end());
+        all_ls.insert(all_ls.end(), ls_gain.begin(), ls_gain.end());
+        auto vb = stats::summarize(just_slow);
+        auto vl = stats::summarize(ls_gain);
+        summary.addRow({ls, stats::Table::pct(vb.mean),
+                        stats::Table::pct(vb.max),
+                        stats::Table::pct(vl.mean),
+                        stats::Table::pct(vl.max)});
+    }
+    auto vb = stats::summarize(all_batch);
+    auto vl = stats::summarize(all_ls);
+    summary.addRow({"ALL", stats::Table::pct(vb.mean),
+                    stats::Table::pct(vb.max), stats::Table::pct(vl.mean),
+                    stats::Table::pct(vl.max)});
+
+    emit(summary, opt);
+    emit(table, opt);
+
+    stats::Table paper("Paper reference (Section VI-B)");
+    paper.setHeader({"point", "value"});
+    paper.addRow({"batch slowdown", "8% avg, 49% max"});
+    paper.addRow({"worst LS co-runner", "Data Serving (20% avg)"});
+    paper.addRow({"LS change", "+4% avg, +11% max"});
+    emit(paper, opt);
+    return 0;
+}

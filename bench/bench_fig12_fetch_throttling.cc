@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 12: front-end fetch throttling (ratios 1:2 .. 1:16, on a
+ * dynamically shared ROB, per Section VI-B) versus Stretch B-mode 56-136
+ * (back-end control). Average performance change per latency-sensitive
+ * service, normalised to the equally-partitioned baseline.
+ *
+ * Paper reference points: batch changes -3% / 0% / +4% / +6% for ratios
+ * 1:2/1:4/1:8/1:16 while the latency-sensitive side loses 10/25/48/68%;
+ * Stretch delivers +13% batch at just -7% LS.
+ */
+
+#include <vector>
+
+#include "common.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+using namespace stretch::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    const std::vector<unsigned> ratios = {2, 4, 8, 16};
+    std::size_t pairs = workloads::latencySensitiveNames().size() *
+                        workloads::batchNames().size();
+    std::size_t total = pairs * (ratios.size() + 2);
+    std::size_t done = 0;
+
+    stats::Table batch_table(
+        "Figure 12 (top): avg batch speedup vs equal partition");
+    stats::Table ls_table(
+        "Figure 12 (bottom): avg LS slowdown vs equal partition");
+    std::vector<std::string> header = {"config"};
+    for (const auto &ls : workloads::latencySensitiveNames())
+        header.push_back(ls);
+    header.push_back("ALL");
+    batch_table.setHeader(header);
+    ls_table.setHeader(header);
+
+    auto evaluate = [&](const std::string &label,
+                        const std::function<void(sim::RunConfig &, ThreadId)>
+                            &configure) {
+        std::vector<std::string> brow = {label}, lrow = {label};
+        double ball = 0.0, lall = 0.0;
+        for (const auto &ls : workloads::latencySensitiveNames()) {
+            double bsum = 0.0, lsum = 0.0;
+            for (const auto &batch : workloads::batchNames()) {
+                sim::RunConfig cfg = baseConfig(opt);
+                cfg.workload0 = ls;
+                cfg.workload1 = batch;
+                cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+                const sim::RunResult &base = cachedRun(cfg);
+                configure(cfg, 0);
+                const sim::RunResult &alt = cachedRun(cfg);
+                bsum += alt.uipc[1] / base.uipc[1] - 1.0;
+                lsum += 1.0 - alt.uipc[0] / base.uipc[0];
+                progress("fig12", ++done, total);
+            }
+            double n = static_cast<double>(workloads::batchNames().size());
+            brow.push_back(stats::Table::pct(bsum / n));
+            lrow.push_back(stats::Table::pct(lsum / n));
+            ball += bsum / n / 4.0;
+            lall += lsum / n / 4.0;
+        }
+        brow.push_back(stats::Table::pct(ball));
+        lrow.push_back(stats::Table::pct(lall));
+        batch_table.addRow(brow);
+        ls_table.addRow(lrow);
+    };
+
+    // Warm the baseline cache (also covers the progress meter's first lap).
+    forEachPair([&](const std::string &ls, const std::string &batch) {
+        sim::RunConfig cfg = baseConfig(opt);
+        cfg.workload0 = ls;
+        cfg.workload1 = batch;
+        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+        cachedRun(cfg);
+        progress("fig12", ++done, total);
+    });
+
+    for (unsigned m : ratios) {
+        evaluate("FT 1:" + std::to_string(m),
+                 [m](sim::RunConfig &cfg, ThreadId ls_thread) {
+                     cfg.rob.kind = sim::RobConfigKind::DynamicShared;
+                     cfg.fetchPolicy = FetchPolicy::Throttle;
+                     cfg.throttleRatio = m;
+                     cfg.throttledThread = ls_thread;
+                 });
+    }
+    evaluate("Stretch 56-136", [](sim::RunConfig &cfg, ThreadId) {
+        cfg.rob.kind = sim::RobConfigKind::Asymmetric;
+        cfg.rob.limit0 = 56;
+        cfg.rob.limit1 = 136;
+    });
+
+    emit(batch_table, opt);
+    emit(ls_table, opt);
+
+    stats::Table paper("Paper reference (Section VI-B)");
+    paper.setHeader({"config", "batch avg", "LS avg"});
+    paper.addRow({"FT 1:2", "-3%", "-10%"});
+    paper.addRow({"FT 1:4", "0%", "-25%"});
+    paper.addRow({"FT 1:8", "+4%", "-48%"});
+    paper.addRow({"FT 1:16", "+6%", "-68%"});
+    paper.addRow({"Stretch 56-136", "+13%", "-7%"});
+    emit(paper, opt);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simulator performance microbenchmarks (google-benchmark): throughput of
+ * the main building blocks, useful for tracking regressions in the
+ * simulation infrastructure itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bp/branch_unit.h"
+#include "cache/memory_hierarchy.h"
+#include "core/smt_core.h"
+#include "queueing/request_sim.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+
+namespace
+{
+
+void
+BM_GeneratorNext(benchmark::State &state)
+{
+    TraceGenerator gen(workloads::byName("web_search"), 7, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneratorNext);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchUnit bp;
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predict(0, pc, false));
+        bp.update(0, pc, (pc & 4) != 0, pc + 64, false, false);
+        pc = (pc + 4) & 0xffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{64 * 1024, 8, 2, {}});
+    Addr a = 0;
+    bool dirty = false;
+    for (auto _ : state) {
+        if (!cache.access(0, a))
+            cache.insert(0, a, false, dirty);
+        a = (a + 4096 + 64) & 0xfffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CoreCycleColocated(benchmark::State &state)
+{
+    HierarchyConfig hcfg;
+    MemoryHierarchy mem(hcfg);
+    BranchUnit bp;
+    CoreParams params;
+    SmtCore core(params, mem, bp);
+    TraceGenerator g0(workloads::byName("web_search"), 1, 0);
+    TraceGenerator g1(workloads::byName("zeusmp"), 2, 1);
+    mem.prefillLlc(0, g0.steadyStateBlocks());
+    mem.prefillLlc(1, g1.steadyStateBlocks());
+    core.attachThread(0, &g0);
+    core.attachThread(1, &g1);
+    core.run(5000); // prime the pipeline
+    for (auto _ : state)
+        core.cycle();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreCycleColocated);
+
+void
+BM_QueueingRequest(benchmark::State &state)
+{
+    using namespace queueing;
+    const ServiceSpec &spec = serviceSpec("web_search");
+    for (auto _ : state) {
+        SimKnobs knobs;
+        knobs.requests = 2000;
+        knobs.warmup = 100;
+        benchmark::DoNotOptimize(simulateService(spec, 0.1, knobs));
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_QueueingRequest);
+
+} // namespace
+
+BENCHMARK_MAIN();

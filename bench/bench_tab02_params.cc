@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tables II and III: self-check that the simulated machine matches the
+ * paper's published parameters, and the workload roster.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/smt_core.h"
+#include "util/types.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+using namespace stretch::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    CoreParams core;
+    HierarchyConfig mem;
+    BranchUnitConfig bp;
+
+    stats::Table t2("Table II: simulated processor parameters");
+    t2.setHeader({"parameter", "paper", "modeled", "match"});
+    auto check = [&t2](const char *name, const std::string &paper,
+                       const std::string &modeled) {
+        t2.addRow({name, paper, modeled, paper == modeled ? "yes" : "NO"});
+    };
+    check("frequency", "2.5 GHz",
+          stats::Table::num(coreFreqGhz, 1) + " GHz");
+    check("fetch width", "6", std::to_string(core.fetchWidth));
+    check("fetch blocks/group", "2", std::to_string(core.fetchMaxBlocks));
+    check("fetch branches/group", "1",
+          std::to_string(core.fetchMaxBranches));
+    check("decode/dispatch width", "6", std::to_string(core.dispatchWidth));
+    check("commit width", "6", std::to_string(core.commitWidth));
+    check("ROB entries", "192", std::to_string(core.robEntries));
+    check("ROB per thread (baseline)", "96",
+          std::to_string(core.robEntries / 2));
+    check("LSQ entries", "64", std::to_string(core.lsqEntries));
+    check("LSQ per thread (baseline)", "32",
+          std::to_string(core.lsqEntries / 2));
+    check("int ALUs", "4", std::to_string(core.intAluCount));
+    check("int multipliers", "2", std::to_string(core.intMulCount));
+    check("FPUs", "3", std::to_string(core.fpuCount));
+    check("LSUs", "2", std::to_string(core.lsuCount));
+    check("pipeline flush", "12 cycles",
+          std::to_string(core.flushPenalty) + " cycles");
+    check("L1-I", "64KB 8-way 2 banks",
+          std::to_string(mem.l1i.sizeBytes / 1024) + "KB " +
+              std::to_string(mem.l1i.assoc) + "-way " +
+              std::to_string(mem.l1i.banks) + " banks");
+    check("L1-D", "64KB 8-way 2 banks",
+          std::to_string(mem.l1d.sizeBytes / 1024) + "KB " +
+              std::to_string(mem.l1d.assoc) + "-way " +
+              std::to_string(mem.l1d.banks) + " banks");
+    check("MSHRs", "10 (5 per thread)",
+          std::to_string(mem.mshrs) + " (" +
+              std::to_string(mem.mshrQuota[0]) + " per thread)");
+    check("prefetcher streams", "32",
+          std::to_string(mem.prefetchStreams));
+    check("gshare entries", "16K",
+          std::to_string(bp.gshareEntries / 1024) + "K");
+    check("bimodal entries", "4K",
+          std::to_string(bp.bimodalEntries / 1024) + "K");
+    check("BTB entries", "2K", std::to_string(bp.btbEntries / 1024) + "K");
+    check("LLC", "8MB 16-way",
+          std::to_string(mem.llcBytes / (1024 * 1024)) + "MB " +
+              std::to_string(mem.llcAssoc) + "-way");
+    check("LLC latency", "28 cycles",
+          std::to_string(mem.llcLatency) + " cycles");
+    check("memory latency", "75 ns",
+          stats::Table::num(mem.memLatency / coreFreqGhz, 0) + " ns");
+    emit(t2, opt);
+
+    stats::Table t3("Table III: latency-sensitive workloads");
+    t3.setHeader({"service", "profile"});
+    t3.addRow({"Data Serving (Cassandra)", "data_serving"});
+    t3.addRow({"Web Serving (Nginx+MySQL)", "web_serving"});
+    t3.addRow({"Web Search (Nutch/Lucene)", "web_search"});
+    t3.addRow({"Media Streaming (Darwin)", "media_streaming"});
+    emit(t3, opt);
+
+    std::printf("Batch suite: %zu SPEC CPU2006 profiles\n",
+                workloads::batchNames().size());
+    return 0;
+}

@@ -1,0 +1,142 @@
+#include "common.h"
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "util/log.h"
+#include "workload/profiles.h"
+
+namespace stretch::bench
+{
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--csv") {
+            opt.csv = true;
+        } else if (a == "--quick") {
+            opt.quick = true;
+        } else if (a == "--paper") {
+            opt.paper = true;
+        } else {
+            STRETCH_FATAL("unknown bench flag '", a,
+                          "' (expected --csv, --quick, --paper)");
+        }
+    }
+    if (opt.quick && opt.paper)
+        STRETCH_FATAL("--quick and --paper are mutually exclusive");
+    sim::setQuickFactor(opt.quick ? 0.5 : 1.0);
+    return opt;
+}
+
+sim::RunConfig
+baseConfig(const Options &opt)
+{
+    sim::RunConfig cfg;
+    if (opt.paper) {
+        cfg.samples = 6;
+        cfg.warmupOps = 15000;
+        cfg.measureOps = 40000;
+    } else {
+        cfg.samples = 2;
+        cfg.warmupOps = 6000;
+        cfg.measureOps = 16000;
+    }
+    return cfg;
+}
+
+namespace
+{
+
+std::string
+configKey(const sim::RunConfig &c)
+{
+    std::ostringstream os;
+    os << c.workload0 << '|' << c.workload1 << '|' << c.shareL1i
+       << c.shareL1d << c.shareBp << '|' << int(c.rob.kind) << ':'
+       << c.rob.limit0 << ':' << c.rob.limit1 << '|' << int(c.fetchPolicy)
+       << ':' << c.throttleRatio << ':' << unsigned(c.throttledThread) << '|'
+       << c.robEntries << ':' << c.lsqEntries << '|'
+       << c.isolatedRobOverride << '|' << c.samples << ':' << c.warmupOps
+       << ':' << c.measureOps << ':' << c.seed;
+    return os.str();
+}
+
+} // namespace
+
+const sim::RunResult &
+cachedRun(const sim::RunConfig &cfg)
+{
+    static std::map<std::string, sim::RunResult> memo;
+    std::string key = configKey(cfg);
+    auto it = memo.find(key);
+    if (it == memo.end())
+        it = memo.emplace(key, sim::run(cfg)).first;
+    return it->second;
+}
+
+const sim::RunResult &
+isolatedRun(const std::string &workload, const Options &opt)
+{
+    sim::RunConfig cfg = baseConfig(opt);
+    cfg.workload0 = workload;
+    cfg.workload1.clear();
+    return cachedRun(cfg);
+}
+
+void
+forEachPair(
+    const std::function<void(const std::string &, const std::string &)> &fn)
+{
+    for (const auto &ls : workloads::latencySensitiveNames()) {
+        for (const auto &batch : workloads::batchNames())
+            fn(ls, batch);
+    }
+}
+
+void
+progress(const std::string &label, std::size_t done, std::size_t total)
+{
+    std::fprintf(stderr, "\r%s: %zu/%zu", label.c_str(), done, total);
+    if (done == total)
+        std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+std::vector<std::string>
+violinCells(const stats::ViolinSummary &v, int precision)
+{
+    return {
+        stats::Table::pct(v.mean, precision),
+        stats::Table::pct(v.median, precision),
+        stats::Table::pct(v.q1, precision),
+        stats::Table::pct(v.q3, precision),
+        stats::Table::pct(v.min, precision),
+        stats::Table::pct(v.max, precision),
+    };
+}
+
+std::vector<std::string>
+violinHeader(const std::string &prefix)
+{
+    return {prefix + " mean", prefix + " med", prefix + " q1",
+            prefix + " q3",   prefix + " min", prefix + " max"};
+}
+
+void
+emit(const stats::Table &table, const Options &opt)
+{
+    table.print(std::cout);
+    std::cout << '\n';
+    if (opt.csv) {
+        table.printCsv(std::cout);
+        std::cout << '\n';
+    }
+}
+
+} // namespace stretch::bench

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benches: argument
+ * parsing (--quick / --paper / --csv), default sampling configuration,
+ * colocation iteration, and memoized isolated baselines.
+ */
+
+#ifndef STRETCH_BENCH_COMMON_H
+#define STRETCH_BENCH_COMMON_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace stretch::bench
+{
+
+/** Command-line options common to all benches. */
+struct Options
+{
+    bool csv = false;   ///< emit CSV after the human-readable tables
+    bool quick = false; ///< reduced sampling (fast iteration)
+    bool paper = false; ///< increased sampling (closest to Section V-C)
+};
+
+/**
+ * Parse common flags and apply the sampling scale. Unknown flags are
+ * fatal, so typos do not silently produce default runs.
+ */
+Options parseArgs(int argc, char **argv);
+
+/** Default per-run sampling configuration for bench experiments. */
+sim::RunConfig baseConfig(const Options &opt);
+
+/**
+ * Run a configuration with memoization: identical configurations within
+ * one bench process are simulated once.
+ */
+const sim::RunResult &cachedRun(const sim::RunConfig &cfg);
+
+/** Memoized isolated full-machine run. */
+const sim::RunResult &isolatedRun(const std::string &workload,
+                                  const Options &opt);
+
+/** Iterate all 4 x 29 latency-sensitive x batch colocations. */
+void forEachPair(
+    const std::function<void(const std::string &ls, const std::string &batch)>
+        &fn);
+
+/** Progress meter on stderr ("fig09: 310/1160"). */
+void progress(const std::string &label, std::size_t done, std::size_t total);
+
+/** Format a violin summary as paper-style annotation cells. */
+std::vector<std::string> violinCells(const stats::ViolinSummary &v,
+                                     int precision = 1);
+
+/** Header matching violinCells. */
+std::vector<std::string> violinHeader(const std::string &prefix);
+
+/** Print a table, optionally followed by CSV. */
+void emit(const stats::Table &table, const Options &opt);
+
+} // namespace stretch::bench
+
+#endif // STRETCH_BENCH_COMMON_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Colocation explorer: sweep Stretch ROB skews for a chosen workload pair
+ * and print the full QoS/throughput trade-off curve — the tool a deployment
+ * engineer would use to pick the design-time B-mode/Q-mode points.
+ *
+ * Usage: colocation_explorer [ls_workload] [batch_workload]
+ *   default pair: web_search zeusmp
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+
+int
+main(int argc, char **argv)
+{
+    std::string ls = argc > 1 ? argv[1] : "web_search";
+    std::string batch = argc > 2 ? argv[2] : "zeusmp";
+    if (!workloads::exists(ls) || !workloads::exists(batch)) {
+        std::fprintf(stderr, "unknown workload; available:\n");
+        for (const auto &p : workloads::all())
+            std::fprintf(stderr, "  %s\n", p.name.c_str());
+        return 1;
+    }
+
+    sim::RunConfig cfg;
+    cfg.workload0 = ls;
+    cfg.workload1 = batch;
+
+    std::printf("Sweeping ROB partitions for %s (LS) + %s (batch)\n\n",
+                ls.c_str(), batch.c_str());
+    std::printf("%-16s %10s %12s %12s %12s\n", "partition (LS-B)", "LS UIPC",
+                "batch UIPC", "LS vs 96-96", "batch vs 96-96");
+
+    cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+    sim::RunResult base = sim::run(cfg);
+    std::printf("%-16s %10.3f %12.3f %12s %12s\n", "96-96 (baseline)",
+                base.uipc[0], base.uipc[1], "-", "-");
+
+    const std::vector<std::pair<unsigned, unsigned>> skews = {
+        {160, 32}, {144, 48}, {128, 64}, {112, 80}, {80, 112},
+        {64, 128}, {56, 136}, {48, 144}, {32, 160}};
+    for (auto [l, b] : skews) {
+        cfg.rob.kind = sim::RobConfigKind::Asymmetric;
+        cfg.rob.limit0 = l;
+        cfg.rob.limit1 = b;
+        sim::RunResult r = sim::run(cfg);
+        std::printf("%3u-%-12u %10.3f %12.3f %+11.1f%% %+11.1f%%\n", l, b,
+                    r.uipc[0], r.uipc[1],
+                    (r.uipc[0] / base.uipc[0] - 1.0) * 100.0,
+                    (r.uipc[1] / base.uipc[1] - 1.0) * 100.0);
+    }
+
+    cfg.rob.kind = sim::RobConfigKind::DynamicShared;
+    sim::RunResult dyn = sim::run(cfg);
+    std::printf("%-16s %10.3f %12.3f %+11.1f%% %+11.1f%%\n",
+                "dynamic shared", dyn.uipc[0], dyn.uipc[1],
+                (dyn.uipc[0] / base.uipc[0] - 1.0) * 100.0,
+                (dyn.uipc[1] / base.uipc[1] - 1.0) * 100.0);
+
+    std::printf("\nPick the lowest LS share whose slowdown is still inside "
+                "the service's\nload-dependent slack (see "
+                "bench_fig02_slack).\n");
+    return 0;
+}

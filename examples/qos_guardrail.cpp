@@ -1,0 +1,84 @@
+/**
+ * @file
+ * QoS guardrail: demonstrates the CPI2-style monitor's full corrective
+ * ladder on a simulated SMT core facing a load spike — B-mode under
+ * slack, Q-mode as the spike builds, co-runner throttling when violations
+ * persist, and recovery afterwards.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "qos/cpi2_monitor.h"
+#include "qos/stretch_controller.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+using namespace stretch;
+
+int
+main()
+{
+    // Build a machine: web_search (thread 0) + mcf (thread 1).
+    HierarchyConfig hcfg;
+    hcfg.llcWayPartition = {8, 8};
+    MemoryHierarchy mem(hcfg);
+    BranchUnit bp;
+    SmtCore core(CoreParams{}, mem, bp);
+    TraceGenerator ls(workloads::byName("web_search"), 1, 0);
+    TraceGenerator batch(workloads::byName("mcf"), 2, 1);
+    mem.prefillLlc(0, ls.steadyStateBlocks());
+    mem.prefillLlc(1, batch.steadyStateBlocks());
+    core.attachThread(0, &ls);
+    core.attachThread(1, &batch);
+
+    StretchController controller(core, /*ls_thread=*/0);
+    MonitorConfig mc;
+    mc.qosTarget = 100.0; // ms, Web Search p99
+    Cpi2Monitor monitor(mc);
+
+    // A synthetic day of tail-latency windows: quiet -> spike -> quiet.
+    std::vector<double> tails = {30, 35, 32,  40,  55,  70,  88,  97,
+                                 108, 125, 130, 118, 96, 80,  60,  45,
+                                 35,  30,  28,  30};
+
+    std::printf("%-8s %10s %10s %12s %10s %12s\n", "window", "tail(ms)",
+                "mode", "ROB (LS-B)", "throttle", "batch UIPC");
+    for (std::size_t w = 0; w < tails.size(); ++w) {
+        MonitorDecision d = monitor.evaluateTail(tails[w]);
+        controller.engage(d.mode);
+
+        // Throttling the co-runner = detaching it for the window (the
+        // CPI2 corrective action); here we emulate by freezing fetch via
+        // a Q-mode-style minimal share instead of full detach.
+        std::uint64_t batch_before = core.stats(1).committedOps;
+        Cycle cyc_before = core.now();
+        if (!d.throttleCoRunner) {
+            core.run(20000);
+        } else {
+            // CPI2 corrective action: deschedule the antagonist for the
+            // window (an OS context switch flushes its pipeline state).
+            core.flushAllThreads();
+            core.attachThread(1, nullptr);
+            core.run(20000);
+            core.flushAllThreads();
+            core.attachThread(1, &batch);
+        }
+        double batch_uipc =
+            double(core.stats(1).committedOps - batch_before) /
+            double(core.now() - cyc_before);
+
+        std::printf("%-8zu %10.0f %10s %6u-%-6u %10s %12.3f\n", w,
+                    tails[w], toString(d.mode), core.rob().limit(0),
+                    core.rob().limit(1), d.throttleCoRunner ? "YES" : "-",
+                    batch_uipc);
+    }
+
+    std::printf("\nmode changes: %lu (each costs one %u-cycle pipeline "
+                "flush)\n",
+                static_cast<unsigned long>(controller.modeChanges()),
+                CoreParams{}.flushPenalty);
+    std::printf("QoS-violating windows: %lu\n",
+                static_cast<unsigned long>(monitor.violationWindows()));
+    return 0;
+}

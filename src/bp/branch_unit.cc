@@ -1,0 +1,187 @@
+#include "bp/branch_unit.h"
+
+#include "util/log.h"
+
+namespace stretch
+{
+
+namespace
+{
+
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+BranchUnit::BranchUnit(const BranchUnitConfig &cfg) : cfg(cfg)
+{
+    STRETCH_ASSERT(isPow2(cfg.gshareEntries) && isPow2(cfg.bimodalEntries) &&
+                       isPow2(cfg.chooserEntries) && isPow2(cfg.btbEntries),
+                   "branch unit table sizes must be powers of two");
+    STRETCH_ASSERT(cfg.btbAssoc > 0 && cfg.btbEntries % cfg.btbAssoc == 0,
+                   "BTB associativity must divide entry count");
+    reset();
+}
+
+void
+BranchUnit::reset()
+{
+    unsigned sets = cfg.sharedTables ? 1 : numSmtThreads;
+    tableSets.assign(sets, TableSet{});
+    for (auto &t : tableSets) {
+        // Weakly-taken initial state avoids a cold always-not-taken bias.
+        t.gshare.assign(cfg.gshareEntries, 2);
+        t.bimodal.assign(cfg.bimodalEntries, 2);
+        t.chooser.assign(cfg.chooserEntries, 2);
+    }
+    unsigned rows = cfg.btbEntries / cfg.btbAssoc;
+    btbs.assign(sets,
+                std::vector<std::vector<BtbEntry>>(
+                    rows, std::vector<BtbEntry>(cfg.btbAssoc)));
+    for (auto &ts : threadState) {
+        ts.history = 0;
+        ts.ras.clear();
+    }
+    for (auto &s : stats)
+        s = Stats{};
+    useClock = 0;
+}
+
+BranchUnit::TableSet &
+BranchUnit::tables(ThreadId tid)
+{
+    return cfg.sharedTables ? tableSets[0] : tableSets[tid];
+}
+
+std::size_t
+BranchUnit::gshareIndex(const ThreadState &ts, Addr pc) const
+{
+    std::uint64_t hist_mask = (1ull << cfg.gshareHistoryBits) - 1;
+    std::uint64_t folded = ts.history & hist_mask;
+    return ((pc >> 2) ^ folded) & (cfg.gshareEntries - 1);
+}
+
+std::size_t
+BranchUnit::bimodalIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg.bimodalEntries - 1);
+}
+
+std::size_t
+BranchUnit::chooserIndex(Addr pc) const
+{
+    return (pc >> 2) & (cfg.chooserEntries - 1);
+}
+
+bool
+BranchUnit::btbLookup(ThreadId tid, Addr pc, Addr &target)
+{
+    auto &btb = cfg.sharedTables ? btbs[0] : btbs[tid];
+    std::size_t row = (pc >> 2) % btb.size();
+    for (auto &e : btb[row]) {
+        if (e.valid && e.tag == pc) {
+            e.lastUse = ++useClock;
+            target = e.target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BranchUnit::btbInsert(ThreadId tid, Addr pc, Addr target)
+{
+    auto &btb = cfg.sharedTables ? btbs[0] : btbs[tid];
+    std::size_t row = (pc >> 2) % btb.size();
+    BtbEntry *victim = nullptr;
+    for (auto &e : btb[row]) {
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lastUse = ++useClock;
+            return;
+        }
+    }
+    for (auto &e : btb[row]) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    STRETCH_ASSERT(victim != nullptr, "BTB row with zero ways");
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lastUse = ++useClock;
+}
+
+BranchPrediction
+BranchUnit::predict(ThreadId tid, Addr pc, bool is_return)
+{
+    STRETCH_ASSERT(tid < numSmtThreads, "bad thread id ", unsigned(tid));
+    BranchPrediction pred;
+    TableSet &t = tables(tid);
+    ThreadState &ts = threadState[tid];
+
+    bool gshare_taken = counterTaken(t.gshare[gshareIndex(ts, pc)]);
+    bool bimodal_taken = counterTaken(t.bimodal[bimodalIndex(pc)]);
+    bool use_gshare = counterTaken(t.chooser[chooserIndex(pc)]);
+    pred.taken = use_gshare ? gshare_taken : bimodal_taken;
+
+    if (is_return && !ts.ras.empty()) {
+        pred.target = ts.ras.back();
+        pred.usedRas = true;
+        pred.btbHit = true;
+        pred.taken = true; // returns are unconditionally taken
+        return pred;
+    }
+
+    Addr target = 0;
+    if (btbLookup(tid, pc, target)) {
+        pred.btbHit = true;
+        pred.target = target;
+    }
+    return pred;
+}
+
+void
+BranchUnit::update(ThreadId tid, Addr pc, bool taken, Addr target,
+                   bool is_call, bool is_return)
+{
+    STRETCH_ASSERT(tid < numSmtThreads, "bad thread id ", unsigned(tid));
+    TableSet &t = tables(tid);
+    ThreadState &ts = threadState[tid];
+
+    // Direction tables + chooser.
+    std::size_t gi = gshareIndex(ts, pc);
+    bool gshare_was = counterTaken(t.gshare[gi]);
+    bool bimodal_was = counterTaken(t.bimodal[bimodalIndex(pc)]);
+    if (gshare_was != bimodal_was) {
+        // Train the chooser toward the component that was right.
+        counterTrain(t.chooser[chooserIndex(pc)], gshare_was == taken);
+    }
+    counterTrain(t.gshare[gi], taken);
+    counterTrain(t.bimodal[bimodalIndex(pc)], taken);
+
+    // History is updated with the resolved direction.
+    ts.history = (ts.history << 1) | (taken ? 1 : 0);
+
+    // RAS maintenance.
+    if (is_call) {
+        if (ts.ras.size() >= cfg.rasEntries)
+            ts.ras.erase(ts.ras.begin()); // overflow drops the oldest
+        ts.ras.push_back(pc + 4);
+    } else if (is_return && !ts.ras.empty()) {
+        ts.ras.pop_back();
+    }
+
+    // BTB learns taken-branch targets.
+    if (taken && !is_return)
+        btbInsert(tid, pc, target);
+}
+
+} // namespace stretch

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Branch prediction structures per Table II: a hybrid direction predictor
+ * (16K-entry gshare + 4K-entry bimodal with a chooser), a 2K-entry BTB, and
+ * a per-thread return address stack.
+ *
+ * Capacity structures (direction tables, BTB) can be dynamically shared
+ * between the two hardware threads or replicated per thread (the "private"
+ * configuration used by the resource-contention study of Section III-B and
+ * the ideal-software-scheduling comparison of Section VI-C). Each thread
+ * always has a private global-history register and return address stack,
+ * matching Section V-A.
+ */
+
+#ifndef STRETCH_BP_BRANCH_UNIT_H
+#define STRETCH_BP_BRANCH_UNIT_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace stretch
+{
+
+/** Outcome of a lookup in the branch unit. */
+struct BranchPrediction
+{
+    bool taken = false;      ///< predicted direction
+    Addr target = 0;         ///< predicted target (valid if btbHit/rasHit)
+    bool btbHit = false;     ///< BTB produced a target
+    bool usedRas = false;    ///< target came from the return address stack
+};
+
+/** Configuration of the branch unit (defaults mirror Table II). */
+struct BranchUnitConfig
+{
+    unsigned gshareEntries = 16 * 1024;
+    unsigned gshareHistoryBits = 12;
+    unsigned bimodalEntries = 4 * 1024;
+    unsigned chooserEntries = 4 * 1024;
+    unsigned btbEntries = 2 * 1024;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 16;
+    /** False = one set of capacity structures per thread (private mode). */
+    bool sharedTables = true;
+};
+
+/**
+ * Hybrid branch predictor + BTB + RAS for a dual-threaded SMT core.
+ */
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BranchUnitConfig &cfg = {});
+
+    /**
+     * Predict a branch at fetch.
+     * @param tid hardware thread.
+     * @param pc branch instruction address.
+     * @param is_return pops the RAS for the target prediction.
+     */
+    BranchPrediction predict(ThreadId tid, Addr pc, bool is_return);
+
+    /**
+     * Train with the resolved outcome and maintain speculative state
+     * (history, RAS pushes for calls).
+     */
+    void update(ThreadId tid, Addr pc, bool taken, Addr target,
+                bool is_call, bool is_return);
+
+    /** Restore all tables/history/RAS to power-on state. */
+    void reset();
+
+    /** Zero statistics without touching predictor state. */
+    void
+    clearStats()
+    {
+        for (auto &s : stats)
+            s = Stats{};
+    }
+
+    /// @name Statistics
+    /// @{
+    std::uint64_t lookups(ThreadId tid) const { return stats[tid].lookups; }
+    std::uint64_t directionMisses(ThreadId tid) const
+    {
+        return stats[tid].dirMisses;
+    }
+    std::uint64_t targetMisses(ThreadId tid) const
+    {
+        return stats[tid].tgtMisses;
+    }
+    /** Record a fully-resolved prediction outcome (called by the core). */
+    void
+    recordOutcome(ThreadId tid, bool dir_correct, bool tgt_correct)
+    {
+        ++stats[tid].lookups;
+        if (!dir_correct)
+            ++stats[tid].dirMisses;
+        if (!tgt_correct)
+            ++stats[tid].tgtMisses;
+    }
+    /// @}
+
+  private:
+    struct TableSet
+    {
+        std::vector<std::uint8_t> gshare;   // 2-bit counters
+        std::vector<std::uint8_t> bimodal;  // 2-bit counters
+        std::vector<std::uint8_t> chooser;  // 2-bit: >=2 prefers gshare
+    };
+
+    struct BtbEntry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct ThreadState
+    {
+        std::uint64_t history = 0;          // private global history
+        std::vector<Addr> ras;              // private return address stack
+    };
+
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t dirMisses = 0;
+        std::uint64_t tgtMisses = 0;
+    };
+
+    TableSet &tables(ThreadId tid);
+    std::size_t gshareIndex(const ThreadState &ts, Addr pc) const;
+    std::size_t bimodalIndex(Addr pc) const;
+    std::size_t chooserIndex(Addr pc) const;
+
+    bool btbLookup(ThreadId tid, Addr pc, Addr &target);
+    void btbInsert(ThreadId tid, Addr pc, Addr target);
+
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static void
+    counterTrain(std::uint8_t &c, bool taken)
+    {
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+    BranchUnitConfig cfg;
+    std::vector<TableSet> tableSets;        // 1 if shared, 2 if private
+    std::vector<std::vector<std::vector<BtbEntry>>> btbs; // [set][row][way]
+    std::array<ThreadState, numSmtThreads> threadState;
+    std::array<Stats, numSmtThreads> stats;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace stretch
+
+#endif // STRETCH_BP_BRANCH_UNIT_H

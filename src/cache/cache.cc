@@ -1,0 +1,149 @@
+#include "cache/cache.h"
+
+#include "util/log.h"
+
+namespace stretch
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg) : cfg(cfg)
+{
+    STRETCH_ASSERT(cfg.assoc > 0, "associativity must be positive");
+    STRETCH_ASSERT(isPow2(cfg.banks), "bank count must be a power of two");
+    std::uint64_t blocks = cfg.sizeBytes / cacheBlockBytes;
+    STRETCH_ASSERT(blocks % cfg.assoc == 0, "size/assoc mismatch");
+    sets = blocks / cfg.assoc;
+    STRETCH_ASSERT(isPow2(sets), "set count must be a power of two");
+    if (!cfg.wayPartition.empty()) {
+        STRETCH_ASSERT(cfg.wayPartition.size() == numSmtThreads,
+                       "way partition needs one entry per thread");
+        unsigned total = 0;
+        for (unsigned w : cfg.wayPartition)
+            total += w;
+        STRETCH_ASSERT(total <= cfg.assoc, "way partition exceeds assoc");
+    }
+    lines.assign(sets * cfg.assoc, Line{});
+}
+
+void
+Cache::threadWays(ThreadId tid, unsigned &first, unsigned &count) const
+{
+    if (cfg.wayPartition.empty()) {
+        first = 0;
+        count = cfg.assoc;
+        return;
+    }
+    first = 0;
+    for (ThreadId t = 0; t < tid; ++t)
+        first += cfg.wayPartition[t];
+    count = cfg.wayPartition[tid];
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Addr blk = blockAddr(addr);
+    std::uint64_t set = blk & (sets - 1);
+    Line *row = &lines[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (row[w].valid && row[w].tag == blk)
+            return &row[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+bool
+Cache::access(ThreadId tid, Addr addr)
+{
+    Line *line = findLine(addr);
+    if (line) {
+        line->lastUse = ++useClock;
+        ++hitCount[tid];
+        return true;
+    }
+    ++missCount[tid];
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::insert(ThreadId tid, Addr addr, bool dirty, bool &evicted_dirty)
+{
+    evicted_dirty = false;
+    Addr blk = blockAddr(addr);
+    std::uint64_t set = blk & (sets - 1);
+    Line *row = &lines[set * cfg.assoc];
+
+    // Already present (e.g. racing prefetch): refresh.
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (row[w].valid && row[w].tag == blk) {
+            row[w].lastUse = ++useClock;
+            row[w].dirty = row[w].dirty || dirty;
+            return false;
+        }
+    }
+
+    unsigned first = 0, count = 0;
+    threadWays(tid, first, count);
+    STRETCH_ASSERT(count > 0, "thread ", unsigned(tid),
+                   " has zero ways in partition");
+
+    Line *victim = nullptr;
+    for (unsigned w = first; w < first + count; ++w) {
+        if (!row[w].valid) {
+            victim = &row[w];
+            break;
+        }
+        if (!victim || row[w].lastUse < victim->lastUse)
+            victim = &row[w];
+    }
+    bool evicted = victim->valid;
+    evicted_dirty = victim->valid && victim->dirty;
+    victim->valid = true;
+    victim->tag = blk;
+    victim->dirty = dirty;
+    victim->lastUse = ++useClock;
+    return evicted;
+}
+
+void
+Cache::setDirty(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->dirty = true;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines)
+        l = Line{};
+    useClock = 0;
+    for (auto &h : hitCount)
+        h = 0;
+    for (auto &m : missCount)
+        m = 0;
+}
+
+} // namespace stretch

@@ -1,0 +1,106 @@
+#include "qos/cpi2_monitor.h"
+
+#include <cmath>
+
+#include "stats/summary.h"
+#include "util/log.h"
+
+namespace stretch
+{
+
+Cpi2Monitor::Cpi2Monitor(const MonitorConfig &cfg) : cfg(cfg)
+{
+    STRETCH_ASSERT(cfg.qosTarget > 0.0, "QoS target must be positive");
+    STRETCH_ASSERT(cfg.engageFraction < cfg.disengageFraction,
+                   "engage threshold must sit below disengage threshold");
+    window.reserve(cfg.windowRequests);
+}
+
+void
+Cpi2Monitor::recordLatency(double latency)
+{
+    window.push_back(latency);
+}
+
+MonitorDecision
+Cpi2Monitor::evaluateWindow()
+{
+    STRETCH_ASSERT(windowReady(), "evaluateWindow before window filled");
+    double tail = stats::percentile(window, cfg.tailPercentile);
+    window.clear();
+    return evaluateTail(tail);
+}
+
+MonitorDecision
+Cpi2Monitor::evaluateTail(double tail)
+{
+    MonitorDecision d = last;
+    d.tailLatency = tail;
+
+    if (tail > cfg.qosTarget) {
+        ++violations;
+        // First corrective action: disengage B-mode (step to Baseline or
+        // Q-mode). If violations persist across windows, fall back to the
+        // CPI2 ladder and throttle the co-runner.
+        ++consecutiveViolations;
+        d.mode = cfg.hasQMode ? StretchMode::QosBoost : StretchMode::Baseline;
+        if (consecutiveViolations > cfg.violationsBeforeThrottle)
+            d.throttleCoRunner = true;
+    } else {
+        consecutiveViolations = 0;
+        if (d.throttleCoRunner && tail < cfg.engageFraction * cfg.qosTarget) {
+            // Load has receded: lift the throttle first.
+            d.throttleCoRunner = false;
+            d.mode = StretchMode::Baseline;
+        } else if (!d.throttleCoRunner) {
+            switch (last.mode) {
+              case StretchMode::BatchBoost:
+                // Hysteresis: stay in B-mode until slack shrinks.
+                if (tail > cfg.disengageFraction * cfg.qosTarget) {
+                    d.mode = cfg.hasQMode && tail > cfg.qmodeFraction *
+                                                        cfg.qosTarget
+                                 ? StretchMode::QosBoost
+                                 : StretchMode::Baseline;
+                }
+                break;
+              case StretchMode::Baseline:
+              case StretchMode::QosBoost:
+                if (tail < cfg.engageFraction * cfg.qosTarget) {
+                    d.mode = StretchMode::BatchBoost;
+                } else if (cfg.hasQMode &&
+                           tail > cfg.qmodeFraction * cfg.qosTarget) {
+                    d.mode = StretchMode::QosBoost;
+                } else if (last.mode == StretchMode::QosBoost &&
+                           tail < cfg.disengageFraction * cfg.qosTarget) {
+                    d.mode = StretchMode::Baseline;
+                }
+                break;
+            }
+        }
+    }
+
+    last = d;
+    return d;
+}
+
+void
+Cpi2Monitor::recordCpi(double cpi)
+{
+    cpiSamples.push_back(cpi);
+    if (cpiSamples.size() > cfg.cpiHistory)
+        cpiSamples.erase(cpiSamples.begin());
+}
+
+bool
+Cpi2Monitor::cpiOutlier() const
+{
+    if (cpiSamples.size() < 8)
+        return false;
+    stats::RunningStat rs;
+    for (std::size_t i = 0; i + 1 < cpiSamples.size(); ++i)
+        rs.add(cpiSamples[i]);
+    double newest = cpiSamples.back();
+    return newest > rs.mean() + 2.0 * rs.stddev();
+}
+
+} // namespace stretch

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * CPI²-style software QoS monitor extended for Stretch (Section IV-C).
+ *
+ * Google's CPI² framework monitors per-task performance at runtime and
+ * throttles antagonists when a latency-sensitive task suffers. Stretch
+ * extends the monitor with a QoS metric — windowed tail latency — that
+ * measures available performance slack, and a decision policy:
+ *
+ *   - ample slack (tail well below target)  -> engage B-mode
+ *   - slack shrinking                       -> return to Baseline (or
+ *                                              Q-mode when provisioned)
+ *   - persistent violations                 -> throttle the co-runner, the
+ *                                              original CPI² corrective
+ *                                              action
+ *
+ * The monitor also implements CPI²'s antagonist detection on CPI samples
+ * (outliers beyond mean + 2 sigma of the recent history).
+ */
+
+#ifndef STRETCH_QOS_CPI2_MONITOR_H
+#define STRETCH_QOS_CPI2_MONITOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "qos/stretch_controller.h"
+
+namespace stretch
+{
+
+/** Monitor tuning knobs. */
+struct MonitorConfig
+{
+    /** QoS latency target (same unit as recorded latencies). */
+    double qosTarget = 100.0;
+    /** Tail percentile defining the QoS metric (e.g. 99.0). */
+    double tailPercentile = 99.0;
+    /** Engage B-mode when tail < engageFraction * target. */
+    double engageFraction = 0.60;
+    /** Leave B-mode when tail > disengageFraction * target (hysteresis). */
+    double disengageFraction = 0.85;
+    /** Engage Q-mode (if provisioned) when tail > qmodeFraction * target. */
+    double qmodeFraction = 0.95;
+    /** Provision a Q-mode configuration (optional per Section IV-B). */
+    bool hasQMode = true;
+    /** Requests per decision window. */
+    std::size_t windowRequests = 256;
+    /** Violating windows tolerated before throttling the co-runner. */
+    unsigned violationsBeforeThrottle = 2;
+    /** CPI history length for antagonist detection. */
+    std::size_t cpiHistory = 64;
+};
+
+/** Decision emitted at the end of a monitoring window. */
+struct MonitorDecision
+{
+    StretchMode mode = StretchMode::Baseline;
+    bool throttleCoRunner = false;
+    double tailLatency = 0.0;
+};
+
+/**
+ * Sliding-window tail-latency monitor with the Stretch decision ladder.
+ */
+class Cpi2Monitor
+{
+  public:
+    explicit Cpi2Monitor(const MonitorConfig &cfg = {});
+
+    /** Record one request latency. */
+    void recordLatency(double latency);
+
+    /** True once a full decision window has accumulated. */
+    bool windowReady() const { return window.size() >= cfg.windowRequests; }
+
+    /**
+     * Evaluate the completed window and return the desired operating
+     * point; resets the window. Call only when windowReady().
+     */
+    MonitorDecision evaluateWindow();
+
+    /**
+     * Evaluate a pre-aggregated tail-latency observation (used when the
+     * monitor is fed whole measurement windows, e.g. from the queueing
+     * substrate, rather than per-request latencies).
+     */
+    MonitorDecision evaluateTail(double tail_latency);
+
+    /** Most recent decision (initially Baseline, unthrottled). */
+    const MonitorDecision &current() const { return last; }
+
+    /// @name CPI²-style antagonist detection.
+    /// @{
+    /** Record a CPI sample of the protected task. */
+    void recordCpi(double cpi);
+    /** True if the newest CPI sample is an outlier (mean + 2 sigma). */
+    bool cpiOutlier() const;
+    /// @}
+
+    /** Number of windows whose tail violated the QoS target. */
+    std::uint64_t violationWindows() const { return violations; }
+
+    /** Configuration in force. */
+    const MonitorConfig &config() const { return cfg; }
+
+  private:
+    MonitorConfig cfg;
+    std::vector<double> window;
+    MonitorDecision last;
+    unsigned consecutiveViolations = 0;
+    std::uint64_t violations = 0;
+    std::vector<double> cpiSamples;
+};
+
+} // namespace stretch
+
+#endif // STRETCH_QOS_CPI2_MONITOR_H

@@ -1,0 +1,56 @@
+#include "qos/skew_policy.h"
+
+namespace stretch
+{
+
+SkewPolicy::SkewPolicy(std::vector<SkewPoint> ladder, double hysteresis)
+    : rungs(std::move(ladder)), hysteresis(hysteresis)
+{
+    STRETCH_ASSERT(!rungs.empty(), "empty skew ladder");
+    for (std::size_t i = 1; i < rungs.size(); ++i) {
+        STRETCH_ASSERT(rungs[i].headroomThreshold >
+                           rungs[i - 1].headroomThreshold,
+                       "skew ladder thresholds must be ascending");
+    }
+    cur = rungs.size() - 1; // start at the most conservative rung
+}
+
+SkewPolicy
+SkewPolicy::paperLadder()
+{
+    return SkewPolicy({
+        {0.30, {32, 160}}, // deep slack: most aggressive B-mode
+        {0.60, {56, 136}}, // the headline B-mode
+        {0.85, {96, 96}},  // shrinking slack: baseline partition
+        {10.0, {136, 56}}, // near/over target: Q-mode
+    });
+}
+
+std::size_t
+SkewPolicy::select(double headroom)
+{
+    STRETCH_ASSERT(headroom >= 0.0, "negative headroom");
+    // Nominal rung: first threshold above the headroom.
+    std::size_t nominal = rungs.size() - 1;
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+        if (headroom < rungs[i].headroomThreshold) {
+            nominal = i;
+            break;
+        }
+    }
+    if (nominal == cur)
+        return cur;
+    if (nominal > cur) {
+        // Moving to a more conservative rung (less batch boost): only
+        // once headroom clears the current rung's threshold plus the
+        // hysteresis band — except a jump straight past the next rung,
+        // which indicates a real load swing.
+        if (headroom < rungs[cur].headroomThreshold + hysteresis)
+            return cur;
+    }
+    cur = nominal;
+    ++switchCount;
+    return cur;
+}
+
+} // namespace stretch

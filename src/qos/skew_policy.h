@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multi-point skew policy (Section IV-D, "Number of configurations").
+ *
+ * The base Stretch design provisions one B-mode and one Q-mode point. The
+ * paper notes that multiple asymmetric configurations can be provisioned
+ * at design time for finer-grain control, at the cost of more
+ * sophisticated software to pick the right point as a function of load.
+ * SkewPolicy implements that software: it maps the measured QoS headroom
+ * (tail latency as a fraction of the target) onto a design-time ladder of
+ * ROB skews, with hysteresis so small load oscillations do not thrash the
+ * pipeline with mode-change flushes.
+ */
+
+#ifndef STRETCH_QOS_SKEW_POLICY_H
+#define STRETCH_QOS_SKEW_POLICY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "qos/stretch_controller.h"
+#include "util/log.h"
+
+namespace stretch
+{
+
+/** One rung of the design-time skew ladder. */
+struct SkewPoint
+{
+    /**
+     * Engage this point while tail/target is below this fraction; rungs
+     * must be sorted ascending by threshold.
+     */
+    double headroomThreshold;
+    SkewConfig skew;
+};
+
+/**
+ * Maps QoS headroom to a provisioned skew ladder.
+ */
+class SkewPolicy
+{
+  public:
+    /**
+     * @param ladder sorted ascending by headroomThreshold; the last rung
+     *        is used for any headroom at or above the previous thresholds
+     *        (typically the equal partition or a Q-mode point).
+     * @param hysteresis fractional band: a switch to a *less* aggressive
+     *        rung happens only once headroom exceeds the current rung's
+     *        threshold by this margin.
+     */
+    explicit SkewPolicy(std::vector<SkewPoint> ladder,
+                        double hysteresis = 0.05);
+
+    /** The paper's ladder: B-modes 32-160 / 56-136, baseline, Q 136-56. */
+    static SkewPolicy paperLadder();
+
+    /**
+     * Choose a rung for the given tail-latency headroom.
+     * @param headroom measured tail latency divided by the QoS target.
+     * @return index into ladder().
+     */
+    std::size_t select(double headroom);
+
+    /** Currently-selected rung. */
+    std::size_t current() const { return cur; }
+
+    /** The provisioned ladder. */
+    const std::vector<SkewPoint> &ladder() const { return rungs; }
+
+    /** Number of rung changes so far (each implies a pipeline flush). */
+    std::uint64_t changes() const { return switchCount; }
+
+  private:
+    std::vector<SkewPoint> rungs;
+    double hysteresis;
+    std::size_t cur = 0;
+    std::uint64_t switchCount = 0;
+};
+
+} // namespace stretch
+
+#endif // STRETCH_QOS_SKEW_POLICY_H

@@ -1,0 +1,101 @@
+#include "qos/stretch_controller.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace stretch
+{
+
+const char *
+toString(StretchMode mode)
+{
+    switch (mode) {
+      case StretchMode::Baseline:
+        return "Baseline";
+      case StretchMode::BatchBoost:
+        return "B-mode";
+      case StretchMode::QosBoost:
+        return "Q-mode";
+    }
+    return "?";
+}
+
+StretchController::StretchController(SmtCore &core, ThreadId ls_thread,
+                                     SkewConfig bmode, SkewConfig qmode)
+    : core(core), ls(ls_thread), bmode(bmode), qmode(qmode)
+{
+    STRETCH_ASSERT(ls_thread < numSmtThreads, "bad LS thread id");
+    unsigned total = core.rob().total();
+    STRETCH_ASSERT(bmode.lsRobEntries + bmode.batchRobEntries <= total,
+                   "B-mode skew exceeds physical ROB");
+    STRETCH_ASSERT(qmode.lsRobEntries + qmode.batchRobEntries <= total,
+                   "Q-mode skew exceeds physical ROB");
+}
+
+unsigned
+StretchController::lsqFor(unsigned rob_entries) const
+{
+    // LSQ entries proportional to the ROB share, minimum 4 so neither
+    // thread is starved of memory slots.
+    unsigned total_rob = core.rob().total();
+    unsigned total_lsq = core.lsq().total();
+    unsigned share = rob_entries * total_lsq / total_rob;
+    return std::max(4u, share);
+}
+
+void
+StretchController::applyCurrentMode()
+{
+    unsigned rob_total = core.rob().total();
+    unsigned lsq_total = core.lsq().total();
+    unsigned rob_limits[numSmtThreads];
+    switch (reg.decode()) {
+      case StretchMode::Baseline:
+        rob_limits[0] = rob_limits[1] = rob_total / 2;
+        break;
+      case StretchMode::BatchBoost:
+        rob_limits[ls] = bmode.lsRobEntries;
+        rob_limits[1 - ls] = bmode.batchRobEntries;
+        break;
+      case StretchMode::QosBoost:
+        rob_limits[ls] = qmode.lsRobEntries;
+        rob_limits[1 - ls] = qmode.batchRobEntries;
+        break;
+    }
+    unsigned lsq_limits[numSmtThreads];
+    if (reg.decode() == StretchMode::Baseline) {
+        lsq_limits[0] = lsq_limits[1] = lsq_total / 2;
+    } else {
+        lsq_limits[0] = lsqFor(rob_limits[0]);
+        lsq_limits[1] = lsqFor(rob_limits[1]);
+    }
+    core.configureRob(ShareMode::Partitioned, rob_limits[0], rob_limits[1]);
+    core.configureLsq(ShareMode::Partitioned, lsq_limits[0], lsq_limits[1]);
+    // Any mode change is accompanied by a pipeline flush in both threads
+    // (Section IV-C).
+    core.flushAllThreads();
+    ++changes;
+}
+
+void
+StretchController::engage(StretchMode mode)
+{
+    if (mode == reg.decode())
+        return;
+    reg.write(StretchModeRegister::encode(mode));
+    applyCurrentMode();
+}
+
+void
+StretchController::setLsThread(ThreadId ls_thread)
+{
+    STRETCH_ASSERT(ls_thread < numSmtThreads, "bad LS thread id");
+    if (ls_thread == ls)
+        return;
+    ls = ls_thread;
+    if (reg.decode() != StretchMode::Baseline)
+        applyCurrentMode();
+}
+
+} // namespace stretch

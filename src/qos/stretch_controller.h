@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The Stretch mechanism's hardware-software interface (Section IV).
+ *
+ * System software controls an architecturally-exposed register holding an
+ * S-bit (Stretch engaged) and a B/Q bit (which asymmetric configuration to
+ * use). The asymmetric ROB/LSQ partitionings themselves are provisioned at
+ * processor design time; engaging a mode loads the corresponding limits
+ * into the partition limit registers and flushes both threads' pipelines.
+ */
+
+#ifndef STRETCH_QOS_STRETCH_CONTROLLER_H
+#define STRETCH_QOS_STRETCH_CONTROLLER_H
+
+#include <cstdint>
+
+#include "core/smt_core.h"
+#include "util/types.h"
+
+namespace stretch
+{
+
+/** The three operating points of a Stretch core (Section IV-B). */
+enum class StretchMode : std::uint8_t
+{
+    Baseline,   ///< equal partitioning (S-bit clear)
+    BatchBoost, ///< B-mode: bulk of the ROB to the batch thread
+    QosBoost,   ///< Q-mode: bulk of the ROB to the latency-sensitive thread
+};
+
+/** Human-readable mode name. */
+const char *toString(StretchMode mode);
+
+/**
+ * The architecturally-exposed Stretch control register (Section IV-C):
+ * bit 0 = S-bit (engage), bit 1 = B/Q selector (0 = B-mode, 1 = Q-mode).
+ */
+class StretchModeRegister
+{
+  public:
+    /** Write the raw register value (only bits 0-1 are defined). */
+    void
+    write(std::uint8_t value)
+    {
+        raw = value & 0x3;
+    }
+
+    /** Read back the raw register value. */
+    std::uint8_t read() const { return raw; }
+
+    /** Encode a mode into register bits. */
+    static std::uint8_t
+    encode(StretchMode mode)
+    {
+        switch (mode) {
+          case StretchMode::BatchBoost:
+            return 0x1; // S=1, B/Q=0
+          case StretchMode::QosBoost:
+            return 0x3; // S=1, B/Q=1
+          case StretchMode::Baseline:
+          default:
+            return 0x0; // S=0
+        }
+    }
+
+    /** Decode register bits into a mode. */
+    StretchMode
+    decode() const
+    {
+        if (!(raw & 0x1))
+            return StretchMode::Baseline;
+        return (raw & 0x2) ? StretchMode::QosBoost : StretchMode::BatchBoost;
+    }
+
+  private:
+    std::uint8_t raw = 0;
+};
+
+/**
+ * A design-time asymmetric partitioning point, written "N-M" in the paper:
+ * N ROB entries for the latency-sensitive thread, M for the batch thread.
+ */
+struct SkewConfig
+{
+    unsigned lsRobEntries = 56;
+    unsigned batchRobEntries = 136;
+};
+
+/**
+ * Applies Stretch modes to a core: programs the ROB/LSQ limit registers and
+ * performs the mode-change pipeline flush. The LSQ is managed in proportion
+ * to the ROB (Section IV footnote 1).
+ */
+class StretchController
+{
+  public:
+    /**
+     * @param core the SMT core under control.
+     * @param ls_thread hardware thread running the latency-sensitive task.
+     * @param bmode design-time B-mode skew (default 56-136, the paper's
+     *        headline configuration).
+     * @param qmode design-time Q-mode skew (default 136-56).
+     */
+    StretchController(SmtCore &core, ThreadId ls_thread,
+                      SkewConfig bmode = {56, 136},
+                      SkewConfig qmode = {136, 56});
+
+    /**
+     * Engage a mode: writes the mode register, reprograms partitions, and
+     * flushes both threads (no-op if the mode is already engaged).
+     */
+    void engage(StretchMode mode);
+
+    /** Currently-engaged mode. */
+    StretchMode mode() const { return reg.decode(); }
+
+    /** The raw control register (for tests and software emulation). */
+    const StretchModeRegister &controlRegister() const { return reg; }
+
+    /**
+     * Reassign which hardware thread is latency-sensitive. Either hardware
+     * thread can host either software thread (Section IV-D): re-engaging a
+     * mode just loads mirrored limits.
+     */
+    void setLsThread(ThreadId ls_thread);
+
+    /** Latency-sensitive hardware thread. */
+    ThreadId lsThread() const { return ls; }
+
+    /** Number of mode changes performed (each costs a pipeline flush). */
+    std::uint64_t modeChanges() const { return changes; }
+
+  private:
+    void applyCurrentMode();
+    unsigned lsqFor(unsigned rob_entries) const;
+
+    SmtCore &core;
+    ThreadId ls;
+    SkewConfig bmode;
+    SkewConfig qmode;
+    StretchModeRegister reg;
+    std::uint64_t changes = 0;
+};
+
+} // namespace stretch
+
+#endif // STRETCH_QOS_STRETCH_CONTROLLER_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Request arrival processes for the service-level (queueing) substrate.
+ *
+ * Tail latency below saturation is dominated by queueing caused by bursty
+ * arrivals (Section II), so alongside Poisson arrivals we provide a
+ * two-state Markov-modulated Poisson process (MMPP-2) whose high-rate
+ * state models request bursts.
+ */
+
+#ifndef STRETCH_QUEUEING_ARRIVALS_H
+#define STRETCH_QUEUEING_ARRIVALS_H
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace stretch::queueing
+{
+
+/** Memoryless arrivals at a fixed rate (requests per millisecond). */
+class PoissonArrivals
+{
+  public:
+    explicit PoissonArrivals(double rate_per_ms) : rate(rate_per_ms)
+    {
+        STRETCH_ASSERT(rate > 0.0, "arrival rate must be positive");
+    }
+
+    /** Next interarrival gap in milliseconds. */
+    double
+    next(Rng &rng)
+    {
+        return rng.exponential(1.0 / rate);
+    }
+
+  private:
+    double rate;
+};
+
+/**
+ * Two-state Markov-modulated Poisson process. The process alternates
+ * between a low-rate and a high-rate (burst) state with exponentially
+ * distributed dwell times; the overall mean rate equals the requested
+ * rate.
+ */
+class MmppArrivals
+{
+  public:
+    /**
+     * @param mean_rate_per_ms long-run average arrival rate.
+     * @param burst_ratio high-state rate divided by low-state rate (>= 1).
+     * @param dwell_low_ms mean dwell in the low state.
+     * @param dwell_high_ms mean dwell in the high (burst) state.
+     */
+    MmppArrivals(double mean_rate_per_ms, double burst_ratio,
+                 double dwell_low_ms, double dwell_high_ms)
+        : dwell{dwell_low_ms, dwell_high_ms}
+    {
+        STRETCH_ASSERT(mean_rate_per_ms > 0.0, "rate must be positive");
+        STRETCH_ASSERT(burst_ratio >= 1.0, "burst ratio must be >= 1");
+        STRETCH_ASSERT(dwell_low_ms > 0.0 && dwell_high_ms > 0.0,
+                       "dwell times must be positive");
+        // Solve for the per-state rates such that the time-weighted mean
+        // equals mean_rate: w_low*r + w_high*b*r = mean.
+        double w_low = dwell_low_ms / (dwell_low_ms + dwell_high_ms);
+        double w_high = 1.0 - w_low;
+        double low = mean_rate_per_ms / (w_low + w_high * burst_ratio);
+        rate[0] = low;
+        rate[1] = low * burst_ratio;
+    }
+
+    /** Next interarrival gap in milliseconds. */
+    double
+    next(Rng &rng)
+    {
+        double gap = 0.0;
+        for (;;) {
+            double to_arrival = rng.exponential(1.0 / rate[state]);
+            double to_switch = rng.exponential(dwell[state]);
+            if (to_arrival <= to_switch)
+                return gap + to_arrival;
+            gap += to_switch;
+            state ^= 1;
+        }
+    }
+
+    /** Rate of the given state (requests/ms); for tests. */
+    double stateRate(int s) const { return rate[s]; }
+
+  private:
+    double rate[2] = {1.0, 1.0};
+    double dwell[2];
+    int state = 0;
+};
+
+} // namespace stretch::queueing
+
+#endif // STRETCH_QUEUEING_ARRIVALS_H

@@ -1,0 +1,65 @@
+#include "queueing/diurnal.h"
+
+#include <cmath>
+
+#include "util/log.h"
+
+namespace stretch::queueing
+{
+
+DiurnalTrace::DiurnalTrace(std::string name, std::array<double, 24> samples)
+    : traceName(std::move(name)), samples(samples)
+{
+    for (double s : samples)
+        STRETCH_ASSERT(s >= 0.0 && s <= 1.0, "load fraction out of [0,1]");
+}
+
+DiurnalTrace
+DiurnalTrace::webSearchCluster()
+{
+    // Meisner et al. query-rate shape: overnight trough around 35-50% of
+    // peak, daytime plateau; below 85% of peak ~11-12 hours per day.
+    return DiurnalTrace("web_search_cluster",
+                        {0.50, 0.45, 0.40, 0.38, 0.36, 0.38,
+                         0.42, 0.50, 0.65, 0.80, 0.87, 0.92,
+                         0.96, 0.99, 1.00, 0.99, 0.97, 0.95,
+                         0.93, 0.90, 0.87, 0.86, 0.70, 0.58});
+}
+
+DiurnalTrace
+DiurnalTrace::youtubeCluster()
+{
+    // Gill et al.: requests concentrated 10am-7pm, peaking at 2pm; the
+    // other ~17 hours sit below 85% of peak.
+    return DiurnalTrace("youtube_cluster",
+                        {0.55, 0.50, 0.46, 0.44, 0.42, 0.44,
+                         0.48, 0.54, 0.62, 0.72, 0.87, 0.93,
+                         0.97, 1.00, 0.98, 0.95, 0.90, 0.83,
+                         0.78, 0.72, 0.68, 0.64, 0.60, 0.57});
+}
+
+double
+DiurnalTrace::loadAt(double hour) const
+{
+    double h = std::fmod(hour, 24.0);
+    if (h < 0.0)
+        h += 24.0;
+    auto lo = static_cast<std::size_t>(std::floor(h));
+    std::size_t hi = (lo + 1) % 24;
+    double frac = h - static_cast<double>(lo);
+    return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+double
+DiurnalTrace::hoursBelow(double threshold, double step_hours) const
+{
+    STRETCH_ASSERT(step_hours > 0.0, "step must be positive");
+    double hours = 0.0;
+    for (double h = 0.0; h < 24.0; h += step_hours) {
+        if (loadAt(h) < threshold)
+            hours += step_hours;
+    }
+    return hours;
+}
+
+} // namespace stretch::queueing

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Diurnal load patterns for the impact case studies (Figure 14).
+ *
+ * Two 24-hour load curves matching the shapes the paper cites: a Web
+ * Search cluster (Meisner et al. [9]: below 85% of peak for ~11 hours per
+ * day) and a YouTube-style video cluster (Gill et al. [28]: requests
+ * concentrated 10am-7pm, below 85% for ~17 hours).
+ */
+
+#ifndef STRETCH_QUEUEING_DIURNAL_H
+#define STRETCH_QUEUEING_DIURNAL_H
+
+#include <array>
+#include <string>
+
+namespace stretch::queueing
+{
+
+/** A 24-hour load trace (fractions of the daily peak). */
+class DiurnalTrace
+{
+  public:
+    /** Web Search cluster query-rate curve (Figure 14a). */
+    static DiurnalTrace webSearchCluster();
+
+    /** YouTube cluster traffic curve (Figure 14b). */
+    static DiurnalTrace youtubeCluster();
+
+    /**
+     * Load fraction at a (possibly fractional) hour of day; piecewise
+     * linear between hourly samples, periodic across days.
+     */
+    double loadAt(double hour) const;
+
+    /** Hours per day with load strictly below the threshold fraction. */
+    double hoursBelow(double threshold, double step_hours = 0.01) const;
+
+    /** Trace name. */
+    const std::string &name() const { return traceName; }
+
+    /** Hourly samples (fraction of peak at hours 0..23). */
+    const std::array<double, 24> &hourly() const { return samples; }
+
+  private:
+    DiurnalTrace(std::string name, std::array<double, 24> samples);
+
+    std::string traceName;
+    std::array<double, 24> samples;
+};
+
+} // namespace stretch::queueing
+
+#endif // STRETCH_QUEUEING_DIURNAL_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Elfen-inspired core-performance modulation (Section II).
+ *
+ * To measure slack, the paper modulates the fraction of time the
+ * latency-sensitive workload runs on the core by interleaving a
+ * non-contentious preemptive co-runner at sub-millisecond granularity.
+ * DutyCycleModulator reproduces this: within every quantum q, the service
+ * only makes progress during the first duty*q milliseconds.
+ */
+
+#ifndef STRETCH_QUEUEING_MODULATION_H
+#define STRETCH_QUEUEING_MODULATION_H
+
+#include <cmath>
+
+#include "util/log.h"
+
+namespace stretch::queueing
+{
+
+/**
+ * Periodic availability windows: the service owns [k*q, k*q + duty*q) for
+ * every integer k.
+ */
+class DutyCycleModulator
+{
+  public:
+    /**
+     * @param duty fraction of core time given to the service, (0, 1].
+     * @param quantum_ms interleaving quantum (paper: sub-millisecond).
+     */
+    explicit DutyCycleModulator(double duty = 1.0, double quantum_ms = 0.25)
+        : duty(duty), quantum(quantum_ms)
+    {
+        STRETCH_ASSERT(duty > 0.0 && duty <= 1.0, "duty out of (0,1]");
+        STRETCH_ASSERT(quantum_ms > 0.0, "quantum must be positive");
+    }
+
+    /**
+     * Completion time of a request that starts executing at @p start and
+     * needs @p demand_ms of core time.
+     */
+    double
+    finish(double start, double demand_ms) const
+    {
+        STRETCH_ASSERT(demand_ms >= 0.0, "negative demand");
+        if (duty >= 1.0)
+            return start + demand_ms;
+        double t = start;
+        double remaining = demand_ms;
+        for (;;) {
+            double k = std::floor(t / quantum);
+            double win_start = k * quantum;
+            double win_end = win_start + duty * quantum;
+            if (t >= win_end) {
+                // Wait for the next window.
+                t = win_start + quantum;
+                continue;
+            }
+            if (t < win_start)
+                t = win_start;
+            double avail = win_end - t;
+            if (remaining <= avail)
+                return t + remaining;
+            remaining -= avail;
+            t = win_start + quantum;
+        }
+    }
+
+    /** Configured duty fraction. */
+    double dutyFraction() const { return duty; }
+
+    /** Configured quantum in milliseconds. */
+    double quantumMs() const { return quantum; }
+
+  private:
+    double duty;
+    double quantum;
+};
+
+} // namespace stretch::queueing
+
+#endif // STRETCH_QUEUEING_MODULATION_H

@@ -1,0 +1,77 @@
+#include "queueing/request_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "queueing/arrivals.h"
+#include "util/histogram.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace stretch::queueing
+{
+
+double
+LatencyResult::tail(double percentile) const
+{
+    if (percentile >= 99.9)
+        return p999Ms;
+    if (percentile >= 99.0)
+        return p99Ms;
+    if (percentile >= 95.0)
+        return p95Ms;
+    return p50Ms;
+}
+
+LatencyResult
+simulateService(const ServiceSpec &spec, double rate_per_ms,
+                const SimKnobs &knobs)
+{
+    STRETCH_ASSERT(rate_per_ms > 0.0, "arrival rate must be positive");
+    STRETCH_ASSERT(knobs.perfScale >= 1.0, "perfScale < 1 is a speedup");
+
+    Rng rng(knobs.seed, 0x9e37);
+    MmppArrivals arrivals(rate_per_ms, spec.burstRatio, spec.dwellLowMs,
+                          spec.dwellHighMs);
+    DutyCycleModulator modulator(knobs.duty, knobs.quantumMs);
+
+    // Lognormal demand with the requested mean: mu = ln(mean) - sigma^2/2.
+    double mu = std::log(spec.meanServiceMs) -
+                spec.logSigma * spec.logSigma / 2.0;
+
+    // Worker pool as a min-heap of free times.
+    std::priority_queue<double, std::vector<double>, std::greater<>> workers;
+    for (unsigned w = 0; w < spec.workers; ++w)
+        workers.push(0.0);
+
+    Histogram hist(1e-3);
+    double clock = 0.0;
+    std::uint64_t total = knobs.warmup + knobs.requests;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        clock += arrivals.next(rng);
+        double demand = rng.lognormal(mu, spec.logSigma) * knobs.perfScale;
+
+        double free_at = workers.top();
+        workers.pop();
+        double start = std::max(clock, free_at);
+        double finish = modulator.finish(start, demand);
+        workers.push(finish);
+
+        if (i >= knobs.warmup)
+            hist.record(finish - clock);
+    }
+
+    LatencyResult r;
+    r.count = hist.count();
+    r.meanMs = hist.mean();
+    r.p50Ms = hist.percentile(50.0);
+    r.p95Ms = hist.percentile(95.0);
+    r.p99Ms = hist.percentile(99.0);
+    r.p999Ms = hist.percentile(99.9);
+    r.maxMs = hist.max();
+    return r;
+}
+
+} // namespace stretch::queueing

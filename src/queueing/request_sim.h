@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Discrete-event request-level simulation of one latency-sensitive service.
+ *
+ * Models an open-loop server with @c workers FCFS worker threads. Requests
+ * arrive via an MMPP-2 process, draw lognormal service demands, and execute
+ * under two forms of performance modulation:
+ *
+ *  - @c perfScale: multiplicative single-thread slowdown (e.g. the
+ *    microarchitectural slowdown measured by the core model under SMT
+ *    colocation or a Stretch mode), and
+ *  - an Elfen-style duty-cycle modulator (Section II's slack-measurement
+ *    mechanism).
+ */
+
+#ifndef STRETCH_QUEUEING_REQUEST_SIM_H
+#define STRETCH_QUEUEING_REQUEST_SIM_H
+
+#include <cstdint>
+
+#include "queueing/modulation.h"
+#include "queueing/service_spec.h"
+
+namespace stretch::queueing
+{
+
+/** Simulation knobs. */
+struct SimKnobs
+{
+    std::uint64_t requests = 60000;  ///< measured requests
+    std::uint64_t warmup = 4000;     ///< discarded leading requests
+    std::uint64_t seed = 1;
+    double perfScale = 1.0;          ///< >1 = slower single-thread perf
+    double duty = 1.0;               ///< Elfen duty cycle, (0,1]
+    double quantumMs = 0.25;         ///< Elfen quantum
+};
+
+/** Latency distribution summary of one simulation. */
+struct LatencyResult
+{
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
+    double maxMs = 0.0;
+    std::uint64_t count = 0;
+
+    /** Tail value at the spec's configured percentile. */
+    double tail(double percentile) const;
+};
+
+/**
+ * Simulate the service at the given arrival rate.
+ * @param rate_per_ms open-loop arrival rate (requests per millisecond).
+ */
+LatencyResult simulateService(const ServiceSpec &spec, double rate_per_ms,
+                              const SimKnobs &knobs = {});
+
+} // namespace stretch::queueing
+
+#endif // STRETCH_QUEUEING_REQUEST_SIM_H

@@ -1,0 +1,100 @@
+#include "queueing/service_spec.h"
+
+#include "util/log.h"
+
+namespace stretch::queueing
+{
+
+namespace
+{
+
+std::vector<ServiceSpec>
+buildSpecs()
+{
+    std::vector<ServiceSpec> v;
+
+    {
+        // Cassandra: short key-value operations, tight 20 ms p99 target.
+        ServiceSpec s;
+        s.name = "data_serving";
+        s.displayName = "Data Serving";
+        s.meanServiceMs = 1.8;
+        s.logSigma = 0.55;
+        s.qosTargetMs = 20.0;
+        s.tailPercentile = 99.0;
+        s.workers = 4;
+        s.burstRatio = 3.0;
+        s.dwellLowMs = 60.0;
+        s.dwellHighMs = 12.0;
+        v.push_back(s);
+    }
+    {
+        // Elgg/MySQL pages: heavyweight dynamic page builds, 1 s p95.
+        ServiceSpec s;
+        s.name = "web_serving";
+        s.displayName = "Web Serving";
+        s.meanServiceMs = 140.0;
+        s.logSigma = 0.50;
+        s.qosTargetMs = 1000.0;
+        s.tailPercentile = 95.0;
+        s.workers = 4;
+        s.burstRatio = 2.5;
+        s.dwellLowMs = 900.0;
+        s.dwellHighMs = 200.0;
+        v.push_back(s);
+    }
+    {
+        // Nutch/Lucene query serving, 100 ms p99 (Figure 1).
+        ServiceSpec s;
+        s.name = "web_search";
+        s.displayName = "Web Search";
+        s.meanServiceMs = 22.0;
+        s.logSigma = 0.42;
+        s.qosTargetMs = 100.0;
+        s.tailPercentile = 99.0;
+        s.workers = 4;
+        s.burstRatio = 3.0;
+        s.dwellLowMs = 300.0;
+        s.dwellHighMs = 60.0;
+        v.push_back(s);
+    }
+    {
+        // Darwin streaming: chunk delivery against a 2 s client timeout;
+        // modeled as a 99.9th-percentile deadline.
+        ServiceSpec s;
+        s.name = "media_streaming";
+        s.displayName = "Media Streaming";
+        s.meanServiceMs = 190.0;
+        s.logSigma = 0.45;
+        s.qosTargetMs = 2000.0;
+        s.tailPercentile = 99.9;
+        s.workers = 4;
+        s.burstRatio = 2.0;
+        s.dwellLowMs = 1500.0;
+        s.dwellHighMs = 400.0;
+        v.push_back(s);
+    }
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<ServiceSpec> &
+allServiceSpecs()
+{
+    static const std::vector<ServiceSpec> specs = buildSpecs();
+    return specs;
+}
+
+const ServiceSpec &
+serviceSpec(const std::string &name)
+{
+    for (const auto &s : allServiceSpecs()) {
+        if (s.name == name)
+            return s;
+    }
+    STRETCH_FATAL("unknown service spec '", name, "'");
+}
+
+} // namespace stretch::queueing

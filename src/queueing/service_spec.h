@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Service-level models of the four latency-sensitive workloads (Table I).
+ *
+ * Each spec pairs a service-time distribution with the QoS target the paper
+ * uses for the slack study: Data Serving 20 ms @ p99, Web Serving 1 s @
+ * p95, Web Search 100 ms @ p99, Media Streaming 2 s timeout (modeled as a
+ * 99.9th-percentile deadline on chunk delivery).
+ */
+
+#ifndef STRETCH_QUEUEING_SERVICE_SPEC_H
+#define STRETCH_QUEUEING_SERVICE_SPEC_H
+
+#include <string>
+#include <vector>
+
+namespace stretch::queueing
+{
+
+/** Parameters of one service's request-level model. */
+struct ServiceSpec
+{
+    std::string name;        ///< profile name (matches workload registry)
+    std::string displayName; ///< paper-style name ("Web Search")
+
+    /// @name Service-time model: lognormal demand in milliseconds.
+    /// @{
+    double meanServiceMs = 25.0;
+    double logSigma = 0.40; ///< sigma of the underlying normal
+    /// @}
+
+    /// @name QoS target (Table I).
+    /// @{
+    double qosTargetMs = 100.0;
+    double tailPercentile = 99.0;
+    /// @}
+
+    /** Request-serving worker threads (cores) on the server. */
+    unsigned workers = 4;
+
+    /// @name Arrival burstiness (MMPP-2).
+    /// @{
+    double burstRatio = 3.0;
+    double dwellLowMs = 200.0;
+    double dwellHighMs = 40.0;
+    /// @}
+};
+
+/** Spec for one of the four services; fatal on unknown name. */
+const ServiceSpec &serviceSpec(const std::string &name);
+
+/** All four services, paper order. */
+const std::vector<ServiceSpec> &allServiceSpecs();
+
+} // namespace stretch::queueing
+
+#endif // STRETCH_QUEUEING_SERVICE_SPEC_H

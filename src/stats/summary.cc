@@ -1,0 +1,78 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace stretch::stats
+{
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    STRETCH_ASSERT(pct >= 0.0 && pct <= 100.0, "percentile out of range: ", pct);
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+ViolinSummary
+summarize(const std::vector<double> &values)
+{
+    ViolinSummary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+    std::vector<double> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.q1 = percentile(sorted, 25.0);
+    s.median = percentile(sorted, 50.0);
+    s.q3 = percentile(sorted, 75.0);
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    s.mean = sum / static_cast<double>(sorted.size());
+    return s;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double v : values) {
+        STRETCH_ASSERT(v > 0.0, "geomean requires positive values, got ", v);
+        logsum += std::log(v);
+    }
+    return std::exp(logsum / static_cast<double>(values.size()));
+}
+
+} // namespace stretch::stats

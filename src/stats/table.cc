@@ -1,0 +1,109 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.h"
+
+namespace stretch::stats
+{
+
+void
+Table::setHeader(std::vector<std::string> cols)
+{
+    header = std::move(cols);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    STRETCH_ASSERT(header.empty() || cells.size() == header.size(),
+                   "row width ", cells.size(), " != header width ",
+                   header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header);
+    for (const auto &row : rows)
+        grow(row);
+
+    os << "== " << title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << "  ";
+            os << cells[i];
+            for (std::size_t p = cells[i].size(); p < widths[i]; ++p)
+                os << ' ';
+        }
+        os << '\n';
+    };
+    if (!header.empty()) {
+        emit(header);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << "  ";
+        for (std::size_t i = 2; i < total; ++i)
+            os << '-';
+        os << '\n';
+    }
+    for (const auto &row : rows)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            os << quote(cells[i]);
+        }
+        os << '\n';
+    };
+    if (!header.empty())
+        emit(header);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace stretch::stats

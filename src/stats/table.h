@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table and series printers shared by the benchmark harness.
+ *
+ * Every bench prints the rows/series the corresponding paper figure or table
+ * reports; this module keeps the formatting consistent and optionally mirrors
+ * output to CSV for plotting.
+ */
+
+#ifndef STRETCH_STATS_TABLE_H
+#define STRETCH_STATS_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stretch::stats
+{
+
+/**
+ * Column-aligned ASCII table builder.
+ */
+class Table
+{
+  public:
+    /** @param title heading printed above the table. */
+    explicit Table(std::string title) : title(std::move(title)) {}
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> cols);
+
+    /** Append a row (must match the header's column count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a value as a signed percentage ("+13.2%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with padding and separators. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows, comma-separated, quoted as needed). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace stretch::stats
+
+#endif // STRETCH_STATS_TABLE_H

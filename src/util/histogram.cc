@@ -1,0 +1,136 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include "util/log.h"
+
+namespace stretch
+{
+
+Histogram::Histogram(double min_value, unsigned sub_bucket_bits)
+    : minValue(min_value), subBucketBits(sub_bucket_bits),
+      subBucketCount(1ull << sub_bucket_bits)
+{
+    STRETCH_ASSERT(min_value > 0.0, "histogram min_value must be positive");
+    STRETCH_ASSERT(sub_bucket_bits >= 1 && sub_bucket_bits <= 16,
+                   "sub_bucket_bits out of range");
+}
+
+std::size_t
+Histogram::bucketIndex(double value) const
+{
+    if (value <= minValue)
+        return 0;
+    double ratio = value / minValue;
+    // Octave = floor(log2(ratio)); position within octave is linear.
+    int octave = static_cast<int>(std::floor(std::log2(ratio)));
+    double base = minValue * std::pow(2.0, octave);
+    auto sub = static_cast<std::uint64_t>(
+        (value - base) / base * static_cast<double>(subBucketCount));
+    if (sub >= subBucketCount)
+        sub = subBucketCount - 1;
+    return static_cast<std::size_t>(octave) * subBucketCount + sub + 1;
+}
+
+double
+Histogram::bucketValue(std::size_t index) const
+{
+    if (index == 0)
+        return minValue;
+    index -= 1;
+    std::size_t octave = index / subBucketCount;
+    std::size_t sub = index % subBucketCount;
+    double base = minValue * std::pow(2.0, static_cast<double>(octave));
+    // Midpoint of the sub-bucket.
+    double lo = base * (1.0 + static_cast<double>(sub) /
+                                  static_cast<double>(subBucketCount));
+    double width = base / static_cast<double>(subBucketCount);
+    return lo + width * 0.5;
+}
+
+void
+Histogram::record(double value)
+{
+    record(value, 1);
+}
+
+void
+Histogram::record(double value, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    if (value < 0.0)
+        value = 0.0;
+    std::size_t idx = bucketIndex(value);
+    if (idx >= buckets.size())
+        buckets.resize(idx + 1, 0);
+    buckets[idx] += weight;
+    if (total == 0 || value < minSeen)
+        minSeen = value;
+    if (value > maxSeen)
+        maxSeen = value;
+    total += weight;
+    sum += value * static_cast<double>(weight);
+}
+
+double
+Histogram::percentile(double pct) const
+{
+    if (total == 0)
+        return 0.0;
+    if (pct <= 0.0)
+        return minSeen;
+    if (pct >= 100.0)
+        return maxSeen;
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(total)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= target) {
+            double v = bucketValue(i);
+            // Clamp the representative to the observed extremes so that
+            // e.g. p99 never exceeds the recorded maximum.
+            if (v > maxSeen)
+                v = maxSeen;
+            if (v < minSeen)
+                v = minSeen;
+            return v;
+        }
+    }
+    return maxSeen;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    STRETCH_ASSERT(minValue == other.minValue &&
+                   subBucketBits == other.subBucketBits,
+                   "merging incompatible histograms");
+    if (other.buckets.size() > buckets.size())
+        buckets.resize(other.buckets.size(), 0);
+    for (std::size_t i = 0; i < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    if (other.total) {
+        if (total == 0 || other.minSeen < minSeen)
+            minSeen = other.minSeen;
+        if (other.maxSeen > maxSeen)
+            maxSeen = other.maxSeen;
+    }
+    total += other.total;
+    sum += other.sum;
+}
+
+void
+Histogram::reset()
+{
+    buckets.clear();
+    total = 0;
+    sum = 0.0;
+    maxSeen = 0.0;
+    minSeen = 0.0;
+}
+
+} // namespace stretch

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error-reporting and assertion helpers, in the spirit of gem5's
+ * panic()/fatal() split: panic for internal invariant violations,
+ * fatal for user/configuration errors.
+ */
+
+#ifndef STRETCH_UTIL_LOG_H
+#define STRETCH_UTIL_LOG_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace stretch
+{
+
+/** Terminate due to an internal simulator bug (aborts, core-dumpable). */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Terminate due to a user/configuration error (clean exit(1)). */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail
+{
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace stretch
+
+#define STRETCH_PANIC(...)                                                    \
+    ::stretch::panicImpl(__FILE__, __LINE__,                                  \
+                         ::stretch::detail::format(__VA_ARGS__))
+
+#define STRETCH_FATAL(...)                                                    \
+    ::stretch::fatalImpl(__FILE__, __LINE__,                                  \
+                         ::stretch::detail::format(__VA_ARGS__))
+
+#define STRETCH_WARN(...)                                                     \
+    ::stretch::warnImpl(__FILE__, __LINE__,                                   \
+                        ::stretch::detail::format(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG: models hardware "can't happen". */
+#define STRETCH_ASSERT(cond, ...)                                             \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            STRETCH_PANIC("assertion failed: " #cond " ",                     \
+                          ::stretch::detail::format(__VA_ARGS__));            \
+        }                                                                     \
+    } while (0)
+
+#endif // STRETCH_UTIL_LOG_H

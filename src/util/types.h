@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Stretch libraries.
+ */
+
+#ifndef STRETCH_UTIL_TYPES_H
+#define STRETCH_UTIL_TYPES_H
+
+#include <cstdint>
+
+namespace stretch
+{
+
+/** Simulated core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated wall-clock time in nanoseconds (queueing substrate). */
+using TimeNs = double;
+
+/** Byte address in the simulated address space. */
+using Addr = std::uint64_t;
+
+/** Hardware thread (SMT context) identifier: 0 or 1 on the modeled core. */
+using ThreadId = std::uint8_t;
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId invalidThread = 0xff;
+
+/** Number of SMT contexts on the modeled core (dual-threaded, per the paper). */
+inline constexpr unsigned numSmtThreads = 2;
+
+/** Cache block size in bytes (Table II: 64B lines everywhere). */
+inline constexpr unsigned cacheBlockBytes = 64;
+
+/** log2(cacheBlockBytes), for block-address arithmetic. */
+inline constexpr unsigned cacheBlockShift = 6;
+
+/** Convert a byte address to a cache-block address. */
+constexpr Addr
+blockAddr(Addr a)
+{
+    return a >> cacheBlockShift;
+}
+
+/** Core frequency (Table II: 2.5 GHz) used to convert ns to cycles. */
+inline constexpr double coreFreqGhz = 2.5;
+
+/** Convert nanoseconds to core cycles, rounding up. */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    double cycles = ns * coreFreqGhz;
+    auto whole = static_cast<Cycle>(cycles);
+    return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+} // namespace stretch
+
+#endif // STRETCH_UTIL_TYPES_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Micro-op representation consumed by the cycle-level core model.
+ *
+ * The simulator is trace-driven: workload generators emit a deterministic
+ * stream of MicroOps carrying everything the timing model needs — operation
+ * class, register dependencies, effective addresses for memory ops, and
+ * actual branch outcomes (the timing model predicts them and charges
+ * misprediction penalties).
+ */
+
+#ifndef STRETCH_WORKLOAD_OP_H
+#define STRETCH_WORKLOAD_OP_H
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace stretch
+{
+
+/** Functional classes map 1:1 onto the Table II functional-unit pools. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< 1-cycle integer op (4 units)
+    IntMul,   ///< 3-cycle integer multiply (2 units)
+    FpAlu,    ///< 4-cycle floating-point op (3 units)
+    Load,     ///< memory read through an LSU (2 units)
+    Store,    ///< memory write through an LSU
+    Branch,   ///< conditional/unconditional control transfer (int ALU slot)
+};
+
+/** Number of architectural registers visible to the generators. */
+inline constexpr unsigned numArchRegs = 64;
+
+/** Register id meaning "no register". */
+inline constexpr std::uint8_t noReg = 0xff;
+
+/**
+ * One dynamic instruction.
+ *
+ * Register ids below 8 are "base" registers that are always ready (they
+ * stand in for constants, the stack pointer, and long-lived loop-invariant
+ * values); generators allocate destinations from the remaining ids.
+ */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+
+    /** Instruction address (drives L1-I, BTB, and branch predictor). */
+    Addr pc = 0;
+
+    /** Destination register (noReg if none). */
+    std::uint8_t dest = noReg;
+
+    /** Source registers (noReg if unused). */
+    std::uint8_t src1 = noReg;
+    std::uint8_t src2 = noReg;
+
+    /** Effective byte address for Load/Store. */
+    Addr effAddr = 0;
+
+    /** Branch: actual direction. */
+    bool taken = false;
+
+    /** Branch: actual target pc (valid when taken). */
+    Addr target = 0;
+
+    /** Branch: subroutine call (pushes return address). */
+    bool isCall = false;
+
+    /** Branch: subroutine return (pops return address). */
+    bool isReturn = false;
+
+    /**
+     * Load is part of a pointer-chase chain: its address depends on the
+     * value of an earlier load. The dependency itself is expressed through
+     * src1; this flag only feeds workload statistics.
+     */
+    bool isChase = false;
+
+    /** True for Load/Store. */
+    bool isMem() const { return cls == OpClass::Load || cls == OpClass::Store; }
+};
+
+} // namespace stretch
+
+#endif // STRETCH_WORKLOAD_OP_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Parameter set describing a synthetic workload.
+ *
+ * Each profile captures the behavioural signature of one application from
+ * the paper's evaluation: the four CloudSuite latency-sensitive services
+ * (Table III) and the 29 SPEC CPU2006 batch benchmarks. Parameters are
+ * chosen so that each application's dominant bottleneck — memory-level
+ * parallelism structure, cache footprints, branch predictability,
+ * instruction-level parallelism — matches its published characterisation,
+ * letting the paper's results (Figures 3-13) emerge from mechanism rather
+ * than curve-fitting.
+ */
+
+#ifndef STRETCH_WORKLOAD_PROFILE_H
+#define STRETCH_WORKLOAD_PROFILE_H
+
+#include <cstdint>
+#include <string>
+
+namespace stretch
+{
+
+/**
+ * Synthetic workload parameters.
+ *
+ * Memory behaviour model: every memory access picks one of three disjoint
+ * per-thread regions — a hot region (L1-resident), a warm region
+ * (LLC-resident), and a cold region (far larger than the LLC partition).
+ * Cold loads either belong to pointer-chase chains (address depends on the
+ * previous load in the chain — serialised misses, the scale-out-workload
+ * pattern) or are independent (strided/streaming or random — overlappable
+ * misses, the high-MLP batch pattern). The number of concurrent chase
+ * chains bounds achievable MLP for chase-dominated workloads.
+ */
+struct SynthProfile
+{
+    std::string name;
+
+    /** True for the four CloudSuite services. */
+    bool latencySensitive = false;
+
+    /// @name Dynamic instruction mix (fractions of all ops; rest is IntAlu).
+    /// @{
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double fpFrac = 0.00;
+    double mulFrac = 0.02;
+    /// @}
+
+    /// @name Register-dependency structure (ILP).
+    /// @{
+    /** Typical producer→consumer distance in ops; larger = more ILP. */
+    unsigned depDistance = 8;
+    /** Fraction of ALU ops extending a serial dependence chain. */
+    double longChainFrac = 0.05;
+    /// @}
+
+    /// @name Data-side working sets.
+    /// @{
+    std::uint64_t hotBytes = 16 * 1024;        ///< L1-resident set
+    std::uint64_t warmBytes = 1024 * 1024;     ///< LLC-resident set
+    std::uint64_t coldBytes = 256ull << 20;    ///< memory-resident set
+    double hotFrac = 0.90;   ///< P(access → hot region)
+    double warmFrac = 0.07;  ///< P(access → warm region); cold = remainder
+    /// @}
+
+    /// @name Cold-access structure (controls MLP).
+    /// @{
+    /** Fraction of cold loads that are pointer-chase (serialised). */
+    double chaseFrac = 0.0;
+    /** Concurrent independent chase chains (bounds chase MLP). */
+    unsigned chaseChains = 1;
+    /** Fraction of independent cold accesses that are sequential/strided. */
+    double streamFrac = 0.0;
+    /// @}
+
+    /// @name Branch behaviour.
+    /// @{
+    /** Dynamic fraction of inherently unpredictable branches. */
+    double hardBranchFrac = 0.02;
+    /**
+     * Typical loop trip count: predictable branches follow a periodic
+     * taken/not-taken pattern with period ~loopPeriod. Short periods fit
+     * inside the global-history window and are learnable (streaming FP
+     * inner loops predict near-perfectly); periods beyond the history
+     * length cost about 1/loopPeriod mispredictions (irregular integer
+     * codes).
+     */
+    unsigned loopPeriod = 16;
+    /** Fraction of branches that are call/return pairs (exercises RAS). */
+    double callFrac = 0.05;
+    /// @}
+
+    /// @name Code footprint (drives L1-I and BTB pressure).
+    /// @{
+    std::uint64_t codeBytes = 32 * 1024;
+    /** P(taken branch jumps to a far basic block). */
+    double jumpFarFrac = 0.25;
+    /** Zipf skew of far-jump destinations (higher = tighter locality). */
+    double codeZipfTheta = 0.6;
+    /// @}
+};
+
+} // namespace stretch
+
+#endif // STRETCH_WORKLOAD_PROFILE_H

@@ -1,0 +1,591 @@
+#include "workload/profiles.h"
+
+#include <map>
+
+#include "util/log.h"
+
+namespace stretch::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t kb = 1024;
+constexpr std::uint64_t mb = 1024 * 1024;
+
+/**
+ * Archetype builders. Each SPEC benchmark below is specialised from the
+ * archetype matching its published dominant bottleneck; the four services
+ * follow the scale-out-workload signature (Ferdman et al., Kanev et al.):
+ * pointer-chase-dominated misses (low MLP), multi-hundred-KB instruction
+ * footprints, data-dependent branches.
+ */
+
+/** Latency-sensitive scale-out service skeleton. */
+SynthProfile
+serviceBase(std::string name)
+{
+    SynthProfile p;
+    p.name = std::move(name);
+    p.latencySensitive = true;
+    p.loadFrac = 0.26;
+    p.storeFrac = 0.11;
+    p.branchFrac = 0.16;
+    p.fpFrac = 0.00;
+    p.mulFrac = 0.01;
+    p.depDistance = 6;
+    p.longChainFrac = 0.10;
+    p.hotBytes = 24 * kb;
+    p.warmBytes = 2 * mb;
+    p.coldBytes = 512 * mb;
+    p.hotFrac = 0.75;
+    p.warmFrac = 0.21;
+    p.chaseFrac = 0.92;
+    p.chaseChains = 1;
+    p.streamFrac = 0.04;
+    p.hardBranchFrac = 0.03;
+    p.loopPeriod = 32;
+    p.callFrac = 0.08;
+    p.codeBytes = 512 * kb;
+    p.jumpFarFrac = 0.22;
+    p.codeZipfTheta = 0.60;
+    return p;
+}
+
+/** Memory-streaming batch skeleton (high MLP, partly prefetchable). */
+SynthProfile
+streamBase(std::string name)
+{
+    SynthProfile p;
+    p.name = std::move(name);
+    p.loadFrac = 0.27;
+    p.storeFrac = 0.09;
+    p.branchFrac = 0.09;
+    p.fpFrac = 0.30;
+    p.mulFrac = 0.02;
+    p.depDistance = 14;
+    p.longChainFrac = 0.02;
+    p.hotBytes = 16 * kb;
+    p.warmBytes = 1 * mb;
+    p.coldBytes = 512 * mb;
+    p.hotFrac = 0.74;
+    p.warmFrac = 0.14;
+    p.chaseFrac = 0.0;
+    p.chaseChains = 1;
+    p.streamFrac = 0.45;
+    p.hardBranchFrac = 0.012;
+    p.loopPeriod = 64;
+    p.callFrac = 0.02;
+    p.codeBytes = 16 * kb;
+    p.jumpFarFrac = 0.10;
+    p.codeZipfTheta = 0.9;
+    return p;
+}
+
+/** Irregular memory-bound batch skeleton (parallel random misses). */
+SynthProfile
+irregularBase(std::string name)
+{
+    SynthProfile p;
+    p.name = std::move(name);
+    p.loadFrac = 0.28;
+    p.storeFrac = 0.09;
+    p.branchFrac = 0.15;
+    p.fpFrac = 0.02;
+    p.mulFrac = 0.02;
+    p.depDistance = 10;
+    p.longChainFrac = 0.04;
+    p.hotBytes = 16 * kb;
+    p.warmBytes = 2 * mb;
+    p.coldBytes = 512 * mb;
+    p.hotFrac = 0.78;
+    p.warmFrac = 0.13;
+    p.chaseFrac = 0.0;
+    p.chaseChains = 1;
+    p.streamFrac = 0.05;
+    p.hardBranchFrac = 0.03;
+    p.loopPeriod = 32;
+    p.callFrac = 0.04;
+    p.codeBytes = 48 * kb;
+    p.jumpFarFrac = 0.20;
+    p.codeZipfTheta = 0.60;
+    return p;
+}
+
+/** Compute-bound batch skeleton (cache-resident, ILP-rich). */
+SynthProfile
+computeBase(std::string name)
+{
+    SynthProfile p;
+    p.name = std::move(name);
+    p.loadFrac = 0.26;
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.11;
+    p.fpFrac = 0.30;
+    p.mulFrac = 0.04;
+    p.depDistance = 12;
+    p.longChainFrac = 0.03;
+    p.hotBytes = 24 * kb;
+    p.warmBytes = 512 * kb;
+    p.coldBytes = 64 * mb;
+    p.hotFrac = 0.97;
+    p.warmFrac = 0.025;
+    p.chaseFrac = 0.0;
+    p.streamFrac = 0.30;
+    p.hardBranchFrac = 0.015;
+    p.loopPeriod = 48;
+    p.callFrac = 0.05;
+    p.codeBytes = 32 * kb;
+    p.jumpFarFrac = 0.15;
+    p.codeZipfTheta = 0.85;
+    return p;
+}
+
+/** Branchy integer batch skeleton (control-flow limited). */
+SynthProfile
+branchyBase(std::string name)
+{
+    SynthProfile p;
+    p.name = std::move(name);
+    p.loadFrac = 0.25;
+    p.storeFrac = 0.11;
+    p.branchFrac = 0.20;
+    p.fpFrac = 0.00;
+    p.mulFrac = 0.01;
+    p.depDistance = 7;
+    p.longChainFrac = 0.08;
+    p.hotBytes = 24 * kb;
+    p.warmBytes = 1 * mb;
+    p.coldBytes = 128 * mb;
+    p.hotFrac = 0.94;
+    p.warmFrac = 0.05;
+    p.chaseFrac = 0.0;
+    p.streamFrac = 0.05;
+    p.hardBranchFrac = 0.08;
+    p.loopPeriod = 16;
+    p.callFrac = 0.08;
+    p.codeBytes = 96 * kb;
+    p.jumpFarFrac = 0.25;
+    p.codeZipfTheta = 0.65;
+    return p;
+}
+
+std::vector<SynthProfile>
+buildAll()
+{
+    std::vector<SynthProfile> v;
+
+    // ---------------------------------------------------------------
+    // Latency-sensitive services (Table III).
+    // ---------------------------------------------------------------
+
+    {
+        // Cassandra: most memory-bound of the four; random key lookups
+        // through on-heap structures, heavy kernel/network code paths.
+        SynthProfile p = serviceBase("data_serving");
+        p.loadFrac = 0.27;
+        p.storeFrac = 0.12;
+        p.hotFrac = 0.72;
+        p.warmFrac = 0.22;
+        p.warmBytes = 2 * mb + 512 * kb;
+        p.coldBytes = 1024 * mb;
+        p.hardBranchFrac = 0.04;
+        p.codeBytes = 448 * kb;
+        v.push_back(p);
+    }
+    {
+        // Nginx + MySQL: request parsing and B-tree walks; slightly more
+        // code footprint, a bit less data traffic.
+        SynthProfile p = serviceBase("web_serving");
+        p.loadFrac = 0.25;
+        p.hotFrac = 0.74;
+        p.warmFrac = 0.20;
+        p.codeBytes = 640 * kb;
+        p.jumpFarFrac = 0.40;
+        v.push_back(p);
+    }
+    {
+        // Nutch/Lucene: inverted-index traversal; two concurrent chase
+        // chains (posting-list merge) give its occasional MLP of 2
+        // (Figure 7: >= 2 requests in flight ~9% of time).
+        SynthProfile p = serviceBase("web_search");
+        p.loadFrac = 0.27;
+        p.storeFrac = 0.08;
+        p.chaseFrac = 0.80;
+        p.warmBytes = 2 * mb + 512 * kb;
+        p.coldBytes = 1024 * mb;
+        p.hardBranchFrac = 0.035;
+        v.push_back(p);
+    }
+    {
+        // Darwin Streaming Server: sequential media buffers make part of
+        // the miss stream prefetchable; smallest code footprint of the four.
+        SynthProfile p = serviceBase("media_streaming");
+        p.loadFrac = 0.24;
+        p.storeFrac = 0.10;
+        p.hotFrac = 0.76;
+        p.warmFrac = 0.17;
+        p.chaseFrac = 0.75;
+        p.streamFrac = 0.25;
+        p.hardBranchFrac = 0.025;
+        p.codeBytes = 256 * kb;
+        v.push_back(p);
+    }
+
+    // ---------------------------------------------------------------
+    // SPEC CPU2006 batch benchmarks (paper order, 29 entries).
+    // ---------------------------------------------------------------
+
+    {
+        // astar: path-finding over pointer graphs; several concurrent
+        // searches give moderate MLP.
+        SynthProfile p = irregularBase("astar");
+        p.chaseFrac = 0.50;
+        p.chaseChains = 3;
+        p.hotFrac = 0.87;
+        p.warmFrac = 0.11;
+        p.branchFrac = 0.17;
+        p.hardBranchFrac = 0.06;
+        v.push_back(p);
+    }
+    {
+        // bwaves: dense FP stencil, long streaming sweeps.
+        SynthProfile p = streamBase("bwaves");
+        p.fpFrac = 0.36;
+        p.hotFrac = 0.78;
+        p.warmFrac = 0.15;
+        p.streamFrac = 0.40;
+        p.depDistance = 16;
+        v.push_back(p);
+    }
+    {
+        // bzip2: compression; mostly L1/LLC-resident with bursts of
+        // table-driven branches.
+        SynthProfile p = branchyBase("bzip2");
+        p.branchFrac = 0.16;
+        p.hotFrac = 0.90;
+        p.warmFrac = 0.09;
+        p.hardBranchFrac = 0.05;
+        p.codeBytes = 48 * kb;
+        v.push_back(p);
+    }
+    {
+        // cactusADM: FP grid solver with large strided sweeps.
+        SynthProfile p = streamBase("cactusADM");
+        p.hotFrac = 0.81;
+        p.warmFrac = 0.13;
+        p.streamFrac = 0.55;
+        v.push_back(p);
+    }
+    {
+        // calculix: FE solver; mostly cache-resident FP compute.
+        SynthProfile p = computeBase("calculix");
+        p.fpFrac = 0.34;
+        p.depDistance = 13;
+        v.push_back(p);
+    }
+    {
+        // dealII: C++ FE library; deeper call graph, moderate footprint.
+        SynthProfile p = computeBase("dealII");
+        p.callFrac = 0.10;
+        p.codeBytes = 64 * kb;
+        p.hotFrac = 0.955;
+        p.warmFrac = 0.04;
+        v.push_back(p);
+    }
+    {
+        // gamess: quantum chemistry; tight FP kernels, tiny data traffic.
+        SynthProfile p = computeBase("gamess");
+        p.fpFrac = 0.40;
+        p.hotFrac = 0.985;
+        p.warmFrac = 0.012;
+        p.depDistance = 15;
+        v.push_back(p);
+    }
+    {
+        // gcc: compiler; branchy, bigger code and data footprints.
+        SynthProfile p = branchyBase("gcc");
+        p.storeFrac = 0.13;
+        p.hotFrac = 0.87;
+        p.warmFrac = 0.11;
+        p.hardBranchFrac = 0.05;
+        p.codeBytes = 192 * kb;
+        p.jumpFarFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // GemsFDTD: FP finite-difference time domain; stream-dominated.
+        SynthProfile p = streamBase("GemsFDTD");
+        p.hotFrac = 0.78;
+        p.warmFrac = 0.15;
+        p.streamFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // gobmk: Go engine; hardest branch behaviour in the suite.
+        SynthProfile p = branchyBase("gobmk");
+        p.branchFrac = 0.22;
+        p.hardBranchFrac = 0.07;
+        p.codeBytes = 128 * kb;
+        v.push_back(p);
+    }
+    {
+        // gromacs: molecular dynamics; cache-resident FP.
+        SynthProfile p = computeBase("gromacs");
+        p.fpFrac = 0.38;
+        p.depDistance = 14;
+        v.push_back(p);
+    }
+    {
+        // h264ref: video encoder; integer compute with strided reference
+        // frames.
+        SynthProfile p = computeBase("h264ref");
+        p.fpFrac = 0.04;
+        p.mulFrac = 0.08;
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.12;
+        p.hotFrac = 0.93;
+        p.warmFrac = 0.06;
+        p.codeBytes = 96 * kb;
+        v.push_back(p);
+    }
+    {
+        // hmmer: profile HMM search; very regular, high IPC.
+        SynthProfile p = computeBase("hmmer");
+        p.fpFrac = 0.06;
+        p.loadFrac = 0.30;
+        p.hotFrac = 0.975;
+        p.warmFrac = 0.02;
+        p.depDistance = 10;
+        v.push_back(p);
+    }
+    {
+        // lbm: lattice-Boltzmann; the L1-D bully of the suite — huge
+        // streaming loads AND stores thrash a shared L1-D (the Figure 5
+        // outlier that victimises latency-sensitive co-runners).
+        SynthProfile p = streamBase("lbm");
+        p.loadFrac = 0.26;
+        p.storeFrac = 0.17;
+        p.fpFrac = 0.32;
+        p.hotBytes = 8 * kb;
+        p.hotFrac = 0.55;
+        p.warmFrac = 0.18;
+        p.streamFrac = 0.70;
+        p.depDistance = 16;
+        v.push_back(p);
+    }
+    {
+        // leslie3d: FP flow solver; streaming with random boundary traffic.
+        SynthProfile p = streamBase("leslie3d");
+        p.hotFrac = 0.80;
+        p.warmFrac = 0.14;
+        p.streamFrac = 0.40;
+        v.push_back(p);
+    }
+    {
+        // libquantum: quantum simulation; the purest stream in SPEC.
+        SynthProfile p = streamBase("libquantum");
+        p.fpFrac = 0.05;
+        p.mulFrac = 0.03;
+        p.branchFrac = 0.14;
+        p.hotFrac = 0.70;
+        p.warmFrac = 0.10;
+        p.streamFrac = 0.80;
+        p.depDistance = 20;
+        p.hardBranchFrac = 0.004;
+        v.push_back(p);
+    }
+    {
+        // mcf: network simplex; pointer-heavy but with many independent
+        // arcs in flight — the classic high-MLP irregular benchmark and
+        // the most ROB-hungry in the suite.
+        SynthProfile p = irregularBase("mcf");
+        p.loadFrac = 0.28;
+        p.hotFrac = 0.62;
+        p.warmFrac = 0.22;
+        p.chaseFrac = 0.55;
+        p.chaseChains = 12;
+        p.hardBranchFrac = 0.05;
+        v.push_back(p);
+    }
+    {
+        // milc: lattice QCD; streaming FP with gather-like random traffic.
+        SynthProfile p = streamBase("milc");
+        p.hotFrac = 0.79;
+        p.warmFrac = 0.14;
+        p.streamFrac = 0.30;
+        v.push_back(p);
+    }
+    {
+        // namd: molecular dynamics; highest ILP in the suite.
+        SynthProfile p = computeBase("namd");
+        p.fpFrac = 0.42;
+        p.depDistance = 18;
+        p.hotFrac = 0.98;
+        p.warmFrac = 0.015;
+        v.push_back(p);
+    }
+    {
+        // omnetpp: discrete-event simulator; pointer-rich heap traversal.
+        SynthProfile p = irregularBase("omnetpp");
+        p.chaseFrac = 0.35;
+        p.chaseChains = 4;
+        p.branchFrac = 0.18;
+        p.hotFrac = 0.84;
+        p.warmFrac = 0.13;
+        p.hardBranchFrac = 0.055;
+        p.codeBytes = 80 * kb;
+        v.push_back(p);
+    }
+    {
+        // perlbench: interpreter; branchy with deep call chains.
+        SynthProfile p = branchyBase("perlbench");
+        p.callFrac = 0.12;
+        p.hardBranchFrac = 0.045;
+        p.codeBytes = 160 * kb;
+        p.jumpFarFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // povray: ray tracer; FP compute with recursive calls.
+        SynthProfile p = computeBase("povray");
+        p.fpFrac = 0.36;
+        p.branchFrac = 0.14;
+        p.callFrac = 0.10;
+        p.hardBranchFrac = 0.03;
+        v.push_back(p);
+    }
+    {
+        // sjeng: chess engine; branchy search with transposition-table
+        // randomness.
+        SynthProfile p = branchyBase("sjeng");
+        p.hardBranchFrac = 0.06;
+        p.hotFrac = 0.92;
+        p.warmFrac = 0.07;
+        p.warmBytes = 2 * mb;
+        v.push_back(p);
+    }
+    {
+        // soplex: LP solver; sparse matrix sweeps with random column
+        // accesses.
+        SynthProfile p = irregularBase("soplex");
+        p.fpFrac = 0.20;
+        p.hotFrac = 0.78;
+        p.warmFrac = 0.16;
+        p.streamFrac = 0.25;
+        v.push_back(p);
+    }
+    {
+        // sphinx3: speech recognition; acoustic-model scans.
+        SynthProfile p = irregularBase("sphinx3");
+        p.fpFrac = 0.24;
+        p.hotFrac = 0.80;
+        p.warmFrac = 0.14;
+        p.streamFrac = 0.30;
+        v.push_back(p);
+    }
+    {
+        // tonto: quantum crystallography; FP compute.
+        SynthProfile p = computeBase("tonto");
+        p.fpFrac = 0.36;
+        p.callFrac = 0.08;
+        v.push_back(p);
+    }
+    {
+        // wrf: weather model; mixed streaming and compute.
+        SynthProfile p = streamBase("wrf");
+        p.hotFrac = 0.86;
+        p.warmFrac = 0.11;
+        p.streamFrac = 0.40;
+        p.fpFrac = 0.32;
+        v.push_back(p);
+    }
+    {
+        // xalancbmk: XSLT processor; branchy pointer-chasing over DOM.
+        SynthProfile p = branchyBase("xalancbmk");
+        p.chaseFrac = 0.35;
+        p.chaseChains = 2;
+        p.hotFrac = 0.85;
+        p.warmFrac = 0.10;
+        p.warmBytes = 2 * mb;
+        p.codeBytes = 128 * kb;
+        v.push_back(p);
+    }
+    {
+        // zeusmp: astrophysical CFD; the paper's example of a high-MLP,
+        // ROB-hungry batch workload (Figures 6 and 7).
+        SynthProfile p = streamBase("zeusmp");
+        p.hotFrac = 0.80;
+        p.warmFrac = 0.155;
+        p.streamFrac = 0.35;
+        p.depDistance = 16;
+        v.push_back(p);
+    }
+
+    STRETCH_ASSERT(v.size() == 4 + 29, "profile registry miscounted");
+    return v;
+}
+
+} // namespace
+
+const std::vector<SynthProfile> &
+all()
+{
+    static const std::vector<SynthProfile> profiles = buildAll();
+    return profiles;
+}
+
+const SynthProfile &
+byName(const std::string &name)
+{
+    static const std::map<std::string, const SynthProfile *> index = [] {
+        std::map<std::string, const SynthProfile *> m;
+        for (const auto &p : all())
+            m[p.name] = &p;
+        return m;
+    }();
+    auto it = index.find(name);
+    if (it == index.end())
+        STRETCH_FATAL("unknown workload profile '", name, "'");
+    return *it->second;
+}
+
+bool
+exists(const std::string &name)
+{
+    for (const auto &p : all()) {
+        if (p.name == name)
+            return true;
+    }
+    return false;
+}
+
+const std::vector<std::string> &
+latencySensitiveNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const auto &p : all()) {
+            if (p.latencySensitive)
+                n.push_back(p.name);
+        }
+        return n;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+batchNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const auto &p : all()) {
+            if (!p.latencySensitive)
+                n.push_back(p.name);
+        }
+        return n;
+    }();
+    return names;
+}
+
+} // namespace stretch::workloads

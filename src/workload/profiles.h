@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Registry of the evaluation's workload profiles.
+ *
+ * Four latency-sensitive CloudSuite services (Table III) and the 29 SPEC
+ * CPU2006 batch benchmarks used as co-runners throughout the paper's
+ * evaluation (Section V-B).
+ */
+
+#ifndef STRETCH_WORKLOAD_PROFILES_H
+#define STRETCH_WORKLOAD_PROFILES_H
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace stretch::workloads
+{
+
+/** All profiles (4 latency-sensitive followed by 29 batch). */
+const std::vector<SynthProfile> &all();
+
+/** Look up a profile by name; fatal error if unknown. */
+const SynthProfile &byName(const std::string &name);
+
+/** True if a profile with this name exists. */
+bool exists(const std::string &name);
+
+/** Names of the four latency-sensitive services, paper order. */
+const std::vector<std::string> &latencySensitiveNames();
+
+/** Names of the 29 SPEC'06 batch benchmarks, paper (alphabetical) order. */
+const std::vector<std::string> &batchNames();
+
+} // namespace stretch::workloads
+
+#endif // STRETCH_WORKLOAD_PROFILES_H

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Parameterized property tests on the core model across workloads and
+ * partition configurations: invariants that must hold for ANY profile.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/smt_core.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace stretch
+{
+namespace
+{
+
+HierarchyConfig
+hierFor(bool isolated)
+{
+    HierarchyConfig cfg;
+    if (isolated) {
+        cfg.llcWayPartition = {16, 0};
+        cfg.mshrQuota = {10, 10};
+    }
+    return cfg;
+}
+
+/** Property sweep: workload x per-thread ROB limit. */
+class RobLimitProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+};
+
+TEST_P(RobLimitProperty, UsageNeverExceedsLimitAndCommitsProgress)
+{
+    auto [name, limit] = GetParam();
+    MemoryHierarchy mem(hierFor(true));
+    BranchUnit bp;
+    SmtCore core(CoreParams{}, mem, bp);
+    TraceGenerator gen(workloads::byName(name), 42, 0);
+    mem.prefillLlc(0, gen.steadyStateBlocks());
+    core.attachThread(0, &gen);
+    core.configureRob(ShareMode::Partitioned, limit, limit);
+    unsigned lsq = std::max(4u, limit * 64 / 192);
+    core.configureLsq(ShareMode::Partitioned, lsq, lsq);
+
+    for (int i = 0; i < 6000; ++i) {
+        core.cycle();
+        ASSERT_LE(core.robOccupancy(0), limit);
+        ASSERT_LE(core.lsq().usage(0), lsq);
+    }
+    EXPECT_GT(core.stats(0).committedOps, 500u);
+    // UIPC can never exceed the commit width.
+    EXPECT_LE(core.uipc(0), 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RobLimitProperty,
+    ::testing::Combine(::testing::Values("web_search", "data_serving",
+                                         "zeusmp", "mcf", "gamess",
+                                         "gobmk", "lbm"),
+                       ::testing::Values(16u, 48u, 96u, 192u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, unsigned>>
+           &info) {
+        return std::get<0>(info.param) + "_rob" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+/** Performance must not decrease when the ROB grows (weak monotonicity). */
+class RobMonotonicity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RobMonotonicity, LargerWindowNeverMuchWorse)
+{
+    const std::string name = GetParam();
+    auto uipcWith = [&](unsigned limit) {
+        MemoryHierarchy mem(hierFor(true));
+        BranchUnit bp;
+        SmtCore core(CoreParams{}, mem, bp);
+        TraceGenerator gen(workloads::byName(name), 11, 0);
+        mem.prefillLlc(0, gen.steadyStateBlocks());
+        core.attachThread(0, &gen);
+        core.configureRob(ShareMode::Partitioned, limit, limit);
+        unsigned lsq = std::max(4u, limit * 64 / 192);
+        core.configureLsq(ShareMode::Partitioned, lsq, lsq);
+        core.runUntilCommitted(0, 6000, 30000000);
+        core.clearStats();
+        core.runUntilCommitted(0, 12000, 30000000);
+        return core.uipc(0);
+    };
+    double prev = 0.0;
+    for (unsigned limit : {32u, 64u, 128u, 192u}) {
+        double u = uipcWith(limit);
+        // Allow a small tolerance for sampling noise.
+        EXPECT_GT(u, prev * 0.97) << name << " rob " << limit;
+        if (u > prev)
+            prev = u;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RobMonotonicity,
+    ::testing::Values("web_search", "zeusmp", "gamess", "mcf", "sphinx3",
+                      "libquantum"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+/** SMT colocation invariants across a diverse pair set. */
+class ColocationProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(ColocationProperty, SmtInvariants)
+{
+    auto [ls, batch] = GetParam();
+    MemoryHierarchy mem(hierFor(false));
+    BranchUnit bp;
+    SmtCore core(CoreParams{}, mem, bp);
+    TraceGenerator g0(workloads::byName(ls), 3, 0);
+    TraceGenerator g1(workloads::byName(batch), 4, 1);
+    mem.prefillLlc(0, g0.steadyStateBlocks());
+    mem.prefillLlc(1, g1.steadyStateBlocks());
+    core.attachThread(0, &g0);
+    core.attachThread(1, &g1);
+
+    for (int i = 0; i < 8000; ++i) {
+        core.cycle();
+        ASSERT_LE(core.robOccupancy(0), 96u);
+        ASSERT_LE(core.robOccupancy(1), 96u);
+    }
+    // Both threads make progress.
+    EXPECT_GT(core.stats(0).committedOps, 200u);
+    EXPECT_GT(core.stats(1).committedOps, 200u);
+    // Combined throughput below the machine width.
+    EXPECT_LE(core.uipc(0) + core.uipc(1), 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ColocationProperty,
+    ::testing::Values(
+        std::make_tuple("web_search", "zeusmp"),
+        std::make_tuple("data_serving", "lbm"),
+        std::make_tuple("web_serving", "gobmk"),
+        std::make_tuple("media_streaming", "mcf"),
+        std::make_tuple("web_search", "gamess"),
+        std::make_tuple("data_serving", "libquantum")),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>
+           &info) {
+        return std::get<0>(info.param) + "_with_" + std::get<1>(info.param);
+    });
+
+} // namespace
+} // namespace stretch

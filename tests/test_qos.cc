@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the Stretch control plane: the mode register encoding,
+ * the StretchController (partition programming + mode-change flush), and
+ * the CPI2-style monitor's decision ladder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/cpi2_monitor.h"
+#include "qos/stretch_controller.h"
+#include "workload/generator.h"
+
+namespace stretch
+{
+namespace
+{
+
+struct Machine
+{
+    Machine()
+        : mem([] {
+              HierarchyConfig cfg;
+              cfg.llcWayPartition = {8, 8};
+              return cfg;
+          }()),
+          core(CoreParams{}, mem, bp)
+    {
+    }
+    MemoryHierarchy mem;
+    BranchUnit bp;
+    SmtCore core;
+};
+
+TEST(ModeRegister, EncodeDecode)
+{
+    StretchModeRegister reg;
+    EXPECT_EQ(reg.decode(), StretchMode::Baseline);
+    reg.write(StretchModeRegister::encode(StretchMode::BatchBoost));
+    EXPECT_EQ(reg.decode(), StretchMode::BatchBoost);
+    EXPECT_EQ(reg.read(), 0x1);
+    reg.write(StretchModeRegister::encode(StretchMode::QosBoost));
+    EXPECT_EQ(reg.decode(), StretchMode::QosBoost);
+    EXPECT_EQ(reg.read(), 0x3);
+    reg.write(StretchModeRegister::encode(StretchMode::Baseline));
+    EXPECT_EQ(reg.decode(), StretchMode::Baseline);
+}
+
+TEST(ModeRegister, UndefinedBitsMasked)
+{
+    StretchModeRegister reg;
+    reg.write(0xff);
+    EXPECT_EQ(reg.read(), 0x3);
+    // B/Q bit without the S-bit means Stretch is disengaged.
+    reg.write(0x2);
+    EXPECT_EQ(reg.decode(), StretchMode::Baseline);
+}
+
+TEST(Controller, BModeProgramsSkewAndLsq)
+{
+    Machine m;
+    StretchController ctl(m.core, 0, {56, 136}, {136, 56});
+    ctl.engage(StretchMode::BatchBoost);
+    EXPECT_EQ(m.core.rob().limit(0), 56u);
+    EXPECT_EQ(m.core.rob().limit(1), 136u);
+    // LSQ managed in proportion to the ROB (64 total, 192 ROB -> 1:3).
+    EXPECT_EQ(m.core.lsq().limit(0), 56u / 3);
+    EXPECT_EQ(m.core.lsq().limit(1), 136u / 3);
+}
+
+TEST(Controller, QModeMirrors)
+{
+    Machine m;
+    StretchController ctl(m.core, 0);
+    ctl.engage(StretchMode::QosBoost);
+    EXPECT_EQ(m.core.rob().limit(0), 136u);
+    EXPECT_EQ(m.core.rob().limit(1), 56u);
+}
+
+TEST(Controller, BaselineRestoresEqualPartition)
+{
+    Machine m;
+    StretchController ctl(m.core, 0);
+    ctl.engage(StretchMode::BatchBoost);
+    ctl.engage(StretchMode::Baseline);
+    EXPECT_EQ(m.core.rob().limit(0), 96u);
+    EXPECT_EQ(m.core.rob().limit(1), 96u);
+    EXPECT_EQ(m.core.lsq().limit(0), 32u);
+}
+
+TEST(Controller, ModeChangeFlushesPipeline)
+{
+    Machine m;
+    SynthProfile p;
+    p.name = "t";
+    p.loadFrac = 0.2;
+    p.codeBytes = 4096;
+    TraceGenerator gen(p, 1, 0);
+    m.core.attachThread(0, &gen);
+    m.core.run(3000); // past the cold I-side misses
+    ASSERT_GT(m.core.robOccupancy(0), 0u);
+    StretchController ctl(m.core, 0);
+    ctl.engage(StretchMode::BatchBoost);
+    EXPECT_EQ(m.core.robOccupancy(0), 0u); // squashed
+    EXPECT_EQ(ctl.modeChanges(), 1u);
+}
+
+TEST(Controller, ReengageSameModeIsNoOp)
+{
+    Machine m;
+    StretchController ctl(m.core, 0);
+    ctl.engage(StretchMode::BatchBoost);
+    ctl.engage(StretchMode::BatchBoost);
+    EXPECT_EQ(ctl.modeChanges(), 1u);
+}
+
+TEST(Controller, LsThreadReassignmentMirrorsLimits)
+{
+    // Either hardware thread can host the LS software thread
+    // (Section IV-D).
+    Machine m;
+    StretchController ctl(m.core, 0);
+    ctl.engage(StretchMode::BatchBoost);
+    EXPECT_EQ(m.core.rob().limit(0), 56u);
+    ctl.setLsThread(1);
+    EXPECT_EQ(m.core.rob().limit(1), 56u);
+    EXPECT_EQ(m.core.rob().limit(0), 136u);
+    EXPECT_EQ(ctl.lsThread(), 1);
+}
+
+MonitorConfig
+monitorConfig()
+{
+    MonitorConfig cfg;
+    cfg.qosTarget = 100.0;
+    cfg.windowRequests = 8;
+    cfg.violationsBeforeThrottle = 2;
+    return cfg;
+}
+
+void
+feedWindow(Cpi2Monitor &mon, double latency)
+{
+    while (!mon.windowReady())
+        mon.recordLatency(latency);
+}
+
+TEST(Monitor, EngagesBModeOnSlack)
+{
+    Cpi2Monitor mon(monitorConfig());
+    feedWindow(mon, 20.0); // far below the 100 ms target
+    MonitorDecision d = mon.evaluateWindow();
+    EXPECT_EQ(d.mode, StretchMode::BatchBoost);
+    EXPECT_FALSE(d.throttleCoRunner);
+}
+
+TEST(Monitor, StaysBaselineInMidBand)
+{
+    Cpi2Monitor mon(monitorConfig());
+    feedWindow(mon, 75.0); // between engage (60) and qmode (95) thresholds
+    EXPECT_EQ(mon.evaluateWindow().mode, StretchMode::Baseline);
+}
+
+TEST(Monitor, HysteresisKeepsBMode)
+{
+    Cpi2Monitor mon(monitorConfig());
+    feedWindow(mon, 20.0);
+    mon.evaluateWindow(); // B-mode engaged
+    feedWindow(mon, 75.0); // above engage (60) but below disengage (85)
+    EXPECT_EQ(mon.evaluateWindow().mode, StretchMode::BatchBoost);
+    feedWindow(mon, 90.0); // above disengage
+    EXPECT_NE(mon.evaluateWindow().mode, StretchMode::BatchBoost);
+}
+
+TEST(Monitor, ViolationDisengagesThenThrottles)
+{
+    Cpi2Monitor mon(monitorConfig());
+    feedWindow(mon, 20.0);
+    mon.evaluateWindow(); // B-mode
+    feedWindow(mon, 120.0); // violation 1: step out of B-mode
+    MonitorDecision d1 = mon.evaluateWindow();
+    EXPECT_NE(d1.mode, StretchMode::BatchBoost);
+    EXPECT_FALSE(d1.throttleCoRunner);
+    feedWindow(mon, 120.0); // violation 2
+    mon.evaluateWindow();
+    feedWindow(mon, 120.0); // violation 3: beyond tolerance -> throttle
+    MonitorDecision d3 = mon.evaluateWindow();
+    EXPECT_TRUE(d3.throttleCoRunner);
+    EXPECT_EQ(mon.violationWindows(), 3u);
+}
+
+TEST(Monitor, RecoveryLiftsThrottle)
+{
+    Cpi2Monitor mon(monitorConfig());
+    for (int i = 0; i < 4; ++i) {
+        feedWindow(mon, 150.0);
+        mon.evaluateWindow();
+    }
+    ASSERT_TRUE(mon.current().throttleCoRunner);
+    feedWindow(mon, 20.0); // load receded
+    MonitorDecision d = mon.evaluateWindow();
+    EXPECT_FALSE(d.throttleCoRunner);
+    // Next quiet window re-engages B-mode.
+    feedWindow(mon, 20.0);
+    EXPECT_EQ(mon.evaluateWindow().mode, StretchMode::BatchBoost);
+}
+
+TEST(Monitor, QModeWithoutProvisioningFallsToBaseline)
+{
+    MonitorConfig cfg = monitorConfig();
+    cfg.hasQMode = false;
+    Cpi2Monitor mon(cfg);
+    feedWindow(mon, 120.0);
+    EXPECT_EQ(mon.evaluateWindow().mode, StretchMode::Baseline);
+}
+
+TEST(Monitor, QModeEngagedNearTarget)
+{
+    Cpi2Monitor mon(monitorConfig());
+    feedWindow(mon, 97.0); // above qmodeFraction (95) but below target
+    EXPECT_EQ(mon.evaluateWindow().mode, StretchMode::QosBoost);
+}
+
+TEST(Monitor, TailUsesConfiguredPercentile)
+{
+    MonitorConfig cfg = monitorConfig();
+    cfg.windowRequests = 100;
+    Cpi2Monitor mon(cfg);
+    // 95 fast requests and five slow ones: p99 captures the outliers.
+    for (int i = 0; i < 95; ++i)
+        mon.recordLatency(10.0);
+    for (int i = 0; i < 5; ++i)
+        mon.recordLatency(500.0);
+    MonitorDecision d = mon.evaluateWindow();
+    EXPECT_GT(d.tailLatency, 100.0);
+}
+
+TEST(Monitor, CpiOutlierDetection)
+{
+    Cpi2Monitor mon(monitorConfig());
+    for (int i = 0; i < 32; ++i)
+        mon.recordCpi(1.0 + 0.01 * (i % 5));
+    EXPECT_FALSE(mon.cpiOutlier());
+    mon.recordCpi(3.0);
+    EXPECT_TRUE(mon.cpiOutlier());
+}
+
+TEST(Monitor, EvaluateTailDirectFeed)
+{
+    Cpi2Monitor mon(monitorConfig());
+    EXPECT_EQ(mon.evaluateTail(10.0).mode, StretchMode::BatchBoost);
+    EXPECT_EQ(mon.evaluateTail(120.0).mode, StretchMode::QosBoost);
+}
+
+} // namespace
+} // namespace stretch

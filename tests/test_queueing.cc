@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the queueing/QoS substrate: arrival processes, the Elfen-style
+ * duty-cycle modulator, the request simulator against queueing theory, the
+ * peak-load/slack studies, and the diurnal traces.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "queueing/arrivals.h"
+#include "queueing/diurnal.h"
+#include "queueing/load_study.h"
+#include "queueing/modulation.h"
+#include "queueing/request_sim.h"
+#include "util/rng.h"
+
+namespace stretch::queueing
+{
+namespace
+{
+
+TEST(Arrivals, PoissonMeanRate)
+{
+    Rng rng(5);
+    PoissonArrivals arr(2.0); // 2 requests/ms
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += arr.next(rng);
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Arrivals, MmppMeanRatePreserved)
+{
+    Rng rng(7);
+    MmppArrivals arr(2.0, 4.0, 100.0, 20.0);
+    double sum = 0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i)
+        sum += arr.next(rng);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Arrivals, MmppStateRates)
+{
+    MmppArrivals arr(1.0, 3.0, 100.0, 50.0);
+    EXPECT_GT(arr.stateRate(1), arr.stateRate(0));
+    EXPECT_NEAR(arr.stateRate(1) / arr.stateRate(0), 3.0, 1e-9);
+}
+
+TEST(Arrivals, MmppBurstierThanPoisson)
+{
+    // Squared coefficient of variation of interarrivals must exceed 1
+    // (Poisson) when burst switching is present.
+    Rng rng(9);
+    MmppArrivals arr(1.0, 8.0, 50.0, 10.0);
+    double sum = 0, sumsq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = arr.next(rng);
+        sum += g;
+        sumsq += g * g;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_GT(var / (mean * mean), 1.2);
+}
+
+TEST(Modulator, FullDutyIsIdentity)
+{
+    DutyCycleModulator mod(1.0, 0.25);
+    EXPECT_NEAR(mod.finish(3.7, 2.5), 6.2, 1e-12);
+}
+
+TEST(Modulator, HalfDutyDoublesLongWork)
+{
+    DutyCycleModulator mod(0.5, 0.25);
+    // Long demand: effective rate is duty-fraction of the core.
+    double t = mod.finish(0.0, 10.0);
+    EXPECT_NEAR(t, 20.0, 0.5);
+}
+
+TEST(Modulator, StartInsideUnavailableWindowWaits)
+{
+    DutyCycleModulator mod(0.5, 1.0); // available [k, k+0.5)
+    // Start at 0.75 (unavailable): work begins at 1.0.
+    EXPECT_NEAR(mod.finish(0.75, 0.25), 1.25, 1e-12);
+}
+
+TEST(Modulator, ShortWorkWithinWindow)
+{
+    DutyCycleModulator mod(0.5, 1.0);
+    EXPECT_NEAR(mod.finish(0.1, 0.2), 0.3, 1e-12);
+}
+
+TEST(Modulator, MonotonicInDemand)
+{
+    DutyCycleModulator mod(0.3, 0.25);
+    double prev = 0.0;
+    for (double d = 0.05; d < 3.0; d += 0.05) {
+        double t = mod.finish(0.2, d);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(RequestSim, LatencyAtLeastServiceTime)
+{
+    const ServiceSpec &spec = serviceSpec("web_search");
+    SimKnobs knobs;
+    knobs.requests = 5000;
+    LatencyResult r = simulateService(spec, 0.001, knobs); // near-idle
+    // Near-idle latency ~ service time distribution.
+    EXPECT_GT(r.meanMs, spec.meanServiceMs * 0.7);
+    EXPECT_LT(r.meanMs, spec.meanServiceMs * 1.5);
+    EXPECT_GT(r.p99Ms, r.meanMs);
+}
+
+TEST(RequestSim, Mm1MeanMatchesTheory)
+{
+    // Single worker, sigma ~ 0: M/D/1-like. Use a tiny-sigma lognormal and
+    // Poisson-ish arrivals via a burst ratio of 1.
+    ServiceSpec spec;
+    spec.name = "mm1";
+    spec.meanServiceMs = 1.0;
+    spec.logSigma = 0.05;
+    spec.workers = 1;
+    spec.burstRatio = 1.0;
+    spec.dwellLowMs = 1000.0;
+    spec.dwellHighMs = 1000.0;
+    SimKnobs knobs;
+    knobs.requests = 150000;
+    double rho = 0.5;
+    LatencyResult r = simulateService(spec, rho, knobs);
+    // M/D/1: W = S * (1 + rho/(2(1-rho))) = 1.5 at rho = 0.5.
+    EXPECT_NEAR(r.meanMs, 1.5, 0.15);
+}
+
+TEST(RequestSim, TailGrowsWithLoad)
+{
+    const ServiceSpec &spec = serviceSpec("web_search");
+    SimKnobs knobs;
+    knobs.requests = 30000;
+    double base = static_cast<double>(spec.workers) / spec.meanServiceMs;
+    double prev = 0.0;
+    for (double rho : {0.2, 0.5, 0.8}) {
+        LatencyResult r = simulateService(spec, base * rho, knobs);
+        EXPECT_GT(r.p99Ms, prev);
+        prev = r.p99Ms;
+    }
+}
+
+TEST(RequestSim, PerfScaleSlowsService)
+{
+    const ServiceSpec &spec = serviceSpec("data_serving");
+    SimKnobs knobs;
+    knobs.requests = 20000;
+    LatencyResult fast = simulateService(spec, 0.2, knobs);
+    knobs.perfScale = 2.0;
+    LatencyResult slow = simulateService(spec, 0.2, knobs);
+    EXPECT_GT(slow.meanMs, fast.meanMs * 1.5);
+}
+
+TEST(RequestSim, DutyCycleInflatesLatency)
+{
+    const ServiceSpec &spec = serviceSpec("web_search");
+    SimKnobs knobs;
+    knobs.requests = 20000;
+    LatencyResult full = simulateService(spec, 0.05, knobs);
+    knobs.duty = 0.3;
+    LatencyResult modulated = simulateService(spec, 0.05, knobs);
+    EXPECT_GT(modulated.meanMs, full.meanMs * 2.0);
+}
+
+TEST(RequestSim, Deterministic)
+{
+    const ServiceSpec &spec = serviceSpec("media_streaming");
+    SimKnobs knobs;
+    knobs.requests = 5000;
+    LatencyResult a = simulateService(spec, 0.01, knobs);
+    LatencyResult b = simulateService(spec, 0.01, knobs);
+    EXPECT_EQ(a.p99Ms, b.p99Ms);
+    EXPECT_EQ(a.meanMs, b.meanMs);
+}
+
+TEST(RequestSim, TailSelectsPercentile)
+{
+    LatencyResult r;
+    r.p50Ms = 1;
+    r.p95Ms = 2;
+    r.p99Ms = 3;
+    r.p999Ms = 4;
+    EXPECT_EQ(r.tail(95.0), 2.0);
+    EXPECT_EQ(r.tail(99.0), 3.0);
+    EXPECT_EQ(r.tail(99.9), 4.0);
+}
+
+class ServiceSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ServiceSweep, PeakLoadMeetsTargetAndBeyondViolates)
+{
+    const ServiceSpec &spec = serviceSpec(GetParam());
+    StudyKnobs knobs;
+    knobs.requests = 20000;
+    double peak = peakLoadRate(spec, knobs);
+    EXPECT_GT(peak, 0.0);
+    SimKnobs sim;
+    sim.requests = 20000;
+    sim.seed = knobs.seed;
+    double at_peak =
+        simulateService(spec, peak, sim).tail(spec.tailPercentile);
+    double beyond =
+        simulateService(spec, peak * 1.4, sim).tail(spec.tailPercentile);
+    EXPECT_LE(at_peak, spec.qosTargetMs * 1.10);
+    EXPECT_GT(beyond, spec.qosTargetMs);
+}
+
+TEST_P(ServiceSweep, SlackShrinksWithLoad)
+{
+    const ServiceSpec &spec = serviceSpec(GetParam());
+    StudyKnobs knobs;
+    knobs.requests = 15000;
+    double peak = peakLoadRate(spec, knobs);
+    double req20 = requiredPerfFraction(spec, peak, 0.2, knobs);
+    double req80 = requiredPerfFraction(spec, peak, 0.8, knobs);
+    EXPECT_LT(req20, req80);
+    EXPECT_LT(req20, 0.60); // ample slack at 20% load (paper: 10-45%)
+    EXPECT_GT(req80, 0.55); // little slack at 80% load (paper: >= 80%)
+}
+
+TEST_P(ServiceSweep, TolerableSlowdownShrinksWithLoad)
+{
+    const ServiceSpec &spec = serviceSpec(GetParam());
+    StudyKnobs knobs;
+    knobs.requests = 15000;
+    double peak = peakLoadRate(spec, knobs);
+    double tol20 = tolerableSlowdown(spec, peak, 0.2, 16.0, knobs);
+    double tol90 = tolerableSlowdown(spec, peak, 0.9, 16.0, knobs);
+    EXPECT_GE(tol20, tol90);
+    EXPECT_GT(tol20, 1.5); // can absorb the ~14% SMT colocation loss
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllServices, ServiceSweep,
+    ::testing::Values("data_serving", "web_serving", "web_search",
+                      "media_streaming"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Diurnal, BoundsAndPeriodicity)
+{
+    auto trace = DiurnalTrace::webSearchCluster();
+    for (double h = 0; h < 48; h += 0.5) {
+        double v = trace.loadAt(h);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        EXPECT_NEAR(trace.loadAt(h), trace.loadAt(h + 24.0), 1e-9);
+    }
+    EXPECT_NEAR(trace.loadAt(14.0), 1.0, 1e-9); // peak at 2pm
+}
+
+TEST(Diurnal, WebSearchHoursBelow85)
+{
+    auto trace = DiurnalTrace::webSearchCluster();
+    double h = trace.hoursBelow(0.85);
+    EXPECT_GT(h, 9.0); // paper: ~11 hours
+    EXPECT_LT(h, 14.0);
+}
+
+TEST(Diurnal, YoutubeHoursBelow85)
+{
+    auto trace = DiurnalTrace::youtubeCluster();
+    double h = trace.hoursBelow(0.85);
+    EXPECT_GT(h, 15.0); // paper: ~17 hours
+    EXPECT_LT(h, 19.0);
+}
+
+TEST(Diurnal, InterpolationIsPiecewiseLinear)
+{
+    auto trace = DiurnalTrace::youtubeCluster();
+    double a = trace.hourly()[3], b = trace.hourly()[4];
+    EXPECT_NEAR(trace.loadAt(3.5), (a + b) / 2, 1e-9);
+}
+
+} // namespace
+} // namespace stretch::queueing

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the sim runner: sampling determinism, configuration plumbing
+ * (ROB kinds, sharing flags, fetch policies), and derived statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+#include "workload/profiles.h"
+
+namespace stretch::sim
+{
+namespace
+{
+
+RunConfig
+fastConfig()
+{
+    RunConfig cfg;
+    cfg.samples = 1;
+    cfg.warmupOps = 2000;
+    cfg.warmupCycles = 10000;
+    cfg.measureOps = 6000;
+    return cfg;
+}
+
+TEST(Runner, Deterministic)
+{
+    RunConfig cfg = fastConfig();
+    cfg.workload0 = "web_search";
+    cfg.workload1 = "zeusmp";
+    RunResult a = run(cfg);
+    RunResult b = run(cfg);
+    EXPECT_EQ(a.uipc[0], b.uipc[0]);
+    EXPECT_EQ(a.uipc[1], b.uipc[1]);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+}
+
+TEST(Runner, SeedChangesResults)
+{
+    RunConfig cfg = fastConfig();
+    cfg.workload0 = "web_search";
+    RunConfig other = cfg;
+    other.seed = 4711;
+    EXPECT_NE(run(cfg).uipc[0], run(other).uipc[0]);
+}
+
+TEST(Runner, IsolatedLeavesThreadOneIdle)
+{
+    RunConfig cfg = fastConfig();
+    RunResult r = runIsolated("gamess", cfg);
+    EXPECT_GT(r.uipc[0], 0.3);
+    EXPECT_EQ(r.uipc[1], 0.0);
+    EXPECT_EQ(r.stats[1].committedOps, 0u);
+}
+
+TEST(Runner, RobOverrideReducesThroughputForStreamApps)
+{
+    RunConfig cfg = fastConfig();
+    double full = runIsolated("zeusmp", cfg).uipc[0];
+    double small = runIsolatedWithRob("zeusmp", 32, cfg).uipc[0];
+    EXPECT_LT(small, full * 0.85);
+}
+
+TEST(Runner, AsymmetricKindShiftsThroughput)
+{
+    RunConfig cfg = fastConfig();
+    cfg.workload0 = "web_search";
+    cfg.workload1 = "zeusmp";
+    cfg.rob.kind = RobConfigKind::EqualPartition;
+    RunResult equal = run(cfg);
+    cfg.rob.kind = RobConfigKind::Asymmetric;
+    cfg.rob.limit0 = 32;
+    cfg.rob.limit1 = 160;
+    RunResult skew = run(cfg);
+    EXPECT_GT(skew.uipc[1], equal.uipc[1]);
+}
+
+TEST(Runner, PrivateCachesHelpBothThreads)
+{
+    RunConfig cfg = fastConfig();
+    cfg.workload0 = "data_serving";
+    cfg.workload1 = "lbm"; // the L1-D bully
+    RunResult shared = run(cfg);
+    cfg.shareL1d = false;
+    cfg.shareL1i = false;
+    cfg.shareBp = false;
+    RunResult priv = run(cfg);
+    EXPECT_GE(priv.uipc[0], shared.uipc[0] * 0.98);
+    EXPECT_GE(priv.uipc[1] + priv.uipc[0],
+              shared.uipc[1] + shared.uipc[0]);
+}
+
+TEST(Runner, ThrottlePolicyPlumbs)
+{
+    RunConfig cfg = fastConfig();
+    cfg.workload0 = "web_search";
+    cfg.workload1 = "gamess";
+    cfg.rob.kind = RobConfigKind::DynamicShared;
+    cfg.fetchPolicy = FetchPolicy::Throttle;
+    cfg.throttleRatio = 16;
+    cfg.throttledThread = 0;
+    RunResult r = run(cfg);
+    RunConfig base = fastConfig();
+    base.workload0 = "web_search";
+    base.workload1 = "gamess";
+    RunResult b = run(base);
+    EXPECT_LT(r.uipc[0], b.uipc[0] * 0.8);
+}
+
+TEST(Runner, MlpAtLeastMonotone)
+{
+    RunConfig cfg = fastConfig();
+    RunResult r = runIsolated("zeusmp", cfg);
+    double prev = 1.1;
+    for (unsigned n = 0; n <= 8; ++n) {
+        double v = r.mlpAtLeast(0, n);
+        EXPECT_LE(v, prev + 1e-12);
+        prev = v;
+    }
+    EXPECT_NEAR(r.mlpAtLeast(0, 0), 1.0, 1e-12);
+}
+
+TEST(Runner, DerivedMpkis)
+{
+    RunConfig cfg = fastConfig();
+    RunResult r = runIsolated("gcc", cfg);
+    EXPECT_GT(r.branchMpki(0), 1.0);
+    EXPECT_LT(r.branchMpki(0), 100.0);
+    EXPECT_GT(r.l1dMpki(0), 1.0);
+}
+
+TEST(Runner, QuickFactorValidation)
+{
+    EXPECT_EQ(quickFactor(), 1.0);
+    setQuickFactor(0.5);
+    EXPECT_EQ(quickFactor(), 0.5);
+    setQuickFactor(1.0);
+}
+
+TEST(RunnerDeathTest, MissingWorkloadIsFatal)
+{
+    RunConfig cfg = fastConfig();
+    EXPECT_DEATH(run(cfg), "thread 0 needs a workload");
+}
+
+TEST(RunnerDeathTest, UnknownProfileIsFatal)
+{
+    RunConfig cfg = fastConfig();
+    cfg.workload0 = "not_a_workload";
+    EXPECT_DEATH(run(cfg), "unknown workload profile");
+}
+
+} // namespace
+} // namespace stretch::sim

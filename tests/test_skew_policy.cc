@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the multi-point skew policy (Section IV-D extension) and the
+ * LS+LS colocation option the paper discusses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/skew_policy.h"
+#include "sim/runner.h"
+
+namespace stretch
+{
+namespace
+{
+
+TEST(SkewPolicy, StartsConservative)
+{
+    SkewPolicy p = SkewPolicy::paperLadder();
+    EXPECT_EQ(p.current(), p.ladder().size() - 1);
+}
+
+TEST(SkewPolicy, DeepSlackSelectsMostAggressiveRung)
+{
+    SkewPolicy p = SkewPolicy::paperLadder();
+    EXPECT_EQ(p.select(0.10), 0u);
+    EXPECT_EQ(p.ladder()[0].skew.lsRobEntries, 32u);
+    EXPECT_EQ(p.ladder()[0].skew.batchRobEntries, 160u);
+}
+
+TEST(SkewPolicy, RungPerHeadroomBand)
+{
+    SkewPolicy p = SkewPolicy::paperLadder();
+    EXPECT_EQ(p.select(0.10), 0u); // < 0.30
+    EXPECT_EQ(p.select(0.45), 1u); // < 0.60
+    EXPECT_EQ(p.select(0.99), 3u); // >= 0.85 band jumped past baseline
+}
+
+TEST(SkewPolicy, AscendingThroughLadder)
+{
+    SkewPolicy p = SkewPolicy::paperLadder();
+    p.select(0.10);
+    EXPECT_EQ(p.select(0.50), 1u);
+    EXPECT_EQ(p.select(0.80), 2u);
+    EXPECT_EQ(p.select(1.20), 3u);
+    EXPECT_EQ(p.changes(), 4u);
+}
+
+TEST(SkewPolicy, HysteresisAbsorbsJitter)
+{
+    SkewPolicy p = SkewPolicy::paperLadder();
+    p.select(0.20); // rung 0 (threshold 0.30)
+    // Jitter just above the rung threshold stays put...
+    EXPECT_EQ(p.select(0.32), 0u);
+    // ...but clearing the hysteresis band moves on.
+    EXPECT_EQ(p.select(0.40), 1u);
+}
+
+TEST(SkewPolicy, DroppingLoadReengagesImmediately)
+{
+    SkewPolicy p = SkewPolicy::paperLadder();
+    p.select(1.2); // Q-mode rung
+    // Slack returns: aggressive rung is taken without hysteresis (the
+    // band only guards the de-escalation direction).
+    EXPECT_EQ(p.select(0.10), 0u);
+}
+
+TEST(SkewPolicyDeathTest, RejectsUnsortedLadder)
+{
+    EXPECT_DEATH(SkewPolicy({{0.5, {56, 136}}, {0.3, {96, 96}}}),
+                 "ascending");
+}
+
+TEST(LsLsColocation, SkewHelpsHighLoadServiceAgainstLowLoadService)
+{
+    // Section IV-D, "Colocation options": two latency-sensitive threads,
+    // one at high load (thread 0) and one at low load (thread 1) — the
+    // skewed configuration should preserve the loaded service's
+    // performance at a cost borne by the idle-ish one.
+    sim::RunConfig cfg;
+    cfg.samples = 2;
+    cfg.warmupOps = 4000;
+    cfg.measureOps = 12000;
+    cfg.workload0 = "web_search";
+    cfg.workload1 = "data_serving";
+    sim::RunResult equal = sim::run(cfg);
+
+    cfg.rob.kind = sim::RobConfigKind::Asymmetric;
+    cfg.rob.limit0 = 136; // loaded service gets the bulk
+    cfg.rob.limit1 = 56;
+    sim::RunResult skewed = sim::run(cfg);
+
+    EXPECT_GE(skewed.uipc[0], equal.uipc[0] * 0.99);
+    EXPECT_LT(skewed.uipc[1], equal.uipc[1] * 1.02);
+}
+
+} // namespace
+} // namespace stretch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * End-to-end smoke tests: the simulated machine boots, runs every workload
+ * profile, and produces sane instruction throughput.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+#include "workload/profiles.h"
+
+namespace stretch
+{
+namespace
+{
+
+TEST(Smoke, RegistryHas33Profiles)
+{
+    EXPECT_EQ(workloads::latencySensitiveNames().size(), 4u);
+    EXPECT_EQ(workloads::batchNames().size(), 29u);
+}
+
+TEST(Smoke, IsolatedWebSearchRuns)
+{
+    sim::RunConfig cfg;
+    cfg.samples = 1;
+    cfg.warmupOps = 3000;
+    cfg.measureOps = 8000;
+    sim::RunResult r = sim::runIsolated("web_search", cfg);
+    EXPECT_GT(r.uipc[0], 0.05);
+    EXPECT_LT(r.uipc[0], 6.0);
+}
+
+TEST(Smoke, ColocationRuns)
+{
+    sim::RunConfig cfg;
+    cfg.workload0 = "web_search";
+    cfg.workload1 = "zeusmp";
+    cfg.samples = 1;
+    cfg.warmupOps = 3000;
+    cfg.measureOps = 8000;
+    sim::RunResult r = sim::run(cfg);
+    EXPECT_GT(r.uipc[0], 0.02);
+    EXPECT_GT(r.uipc[1], 0.02);
+}
+
+} // namespace
+} // namespace stretch

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the stats module: running statistics, percentiles,
+ * violin summaries, and the table printer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace stretch::stats
+{
+namespace
+{
+
+TEST(RunningStat, Basics)
+{
+    RunningStat rs;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.add(v);
+    EXPECT_EQ(rs.count(), 8u);
+    EXPECT_NEAR(rs.mean(), 5.0, 1e-12);
+    EXPECT_NEAR(rs.stddev(), 2.13809, 1e-4); // sample stddev
+    EXPECT_EQ(rs.min(), 2.0);
+    EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStat, Empty)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.mean(), 0.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat rs;
+    rs.add(3.5);
+    EXPECT_EQ(rs.mean(), 3.5);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(Percentile, Interpolation)
+{
+    std::vector<double> v = {1, 2, 3, 4};
+    EXPECT_NEAR(percentile(v, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(percentile(v, 100.0), 4.0, 1e-12);
+    EXPECT_NEAR(percentile(v, 50.0), 2.5, 1e-12);
+    EXPECT_NEAR(percentile(v, 25.0), 1.75, 1e-12);
+}
+
+TEST(Percentile, UnsortedInput)
+{
+    std::vector<double> v = {9, 1, 5, 3, 7};
+    EXPECT_NEAR(percentile(v, 50.0), 5.0, 1e-12);
+}
+
+TEST(Percentile, Empty)
+{
+    EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Summarize, Quartiles)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 101; ++i)
+        v.push_back(i);
+    ViolinSummary s = summarize(v);
+    EXPECT_EQ(s.count, 101u);
+    EXPECT_NEAR(s.min, 1.0, 1e-12);
+    EXPECT_NEAR(s.max, 101.0, 1e-12);
+    EXPECT_NEAR(s.median, 51.0, 1e-12);
+    EXPECT_NEAR(s.q1, 26.0, 1e-12);
+    EXPECT_NEAR(s.q3, 76.0, 1e-12);
+    EXPECT_NEAR(s.mean, 51.0, 1e-12);
+}
+
+TEST(Summarize, Empty)
+{
+    ViolinSummary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Mean, Simple)
+{
+    EXPECT_NEAR(mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Geomean, Simple)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({8.0}), 8.0, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Table, Formatting)
+{
+    Table t("demo");
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"x", "1"});
+    t.addRow({"yy", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    EXPECT_NE(out.find("yy"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, NumAndPct)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.131, 1), "+13.1%");
+    EXPECT_EQ(Table::pct(-0.07, 1), "-7.0%");
+}
+
+TEST(Table, Csv)
+{
+    Table t("csv");
+    t.setHeader({"name", "value"});
+    t.addRow({"plain", "1"});
+    t.addRow({"with,comma", "2"});
+    t.addRow({"with\"quote", "3"});
+    std::ostringstream os;
+    t.printCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name,value"), std::string::npos);
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+} // namespace
+} // namespace stretch::stats

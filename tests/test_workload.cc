@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the workload substrate: profile registry, generator
+ * determinism, and parameterized property sweeps over all 33 profiles
+ * (instruction mix, address-region bounds, dependency structure).
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace stretch
+{
+namespace
+{
+
+TEST(Profiles, RegistryComplete)
+{
+    EXPECT_EQ(workloads::all().size(), 33u);
+    EXPECT_EQ(workloads::latencySensitiveNames().size(), 4u);
+    EXPECT_EQ(workloads::batchNames().size(), 29u);
+}
+
+TEST(Profiles, PaperBatchRoster)
+{
+    // The paper evaluates all 29 SPEC CPU2006 benchmarks (Section V-B).
+    const std::set<std::string> expected = {
+        "astar",     "bwaves",   "bzip2",   "cactusADM",  "calculix",
+        "dealII",    "gamess",   "gcc",     "GemsFDTD",   "gobmk",
+        "gromacs",   "h264ref",  "hmmer",   "lbm",        "leslie3d",
+        "libquantum", "mcf",     "milc",    "namd",       "omnetpp",
+        "perlbench", "povray",   "sjeng",   "soplex",     "sphinx3",
+        "tonto",     "wrf",      "xalancbmk", "zeusmp"};
+    std::set<std::string> actual(workloads::batchNames().begin(),
+                                 workloads::batchNames().end());
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(Profiles, ByNameAndExists)
+{
+    EXPECT_TRUE(workloads::exists("web_search"));
+    EXPECT_FALSE(workloads::exists("nonexistent"));
+    EXPECT_EQ(workloads::byName("zeusmp").name, "zeusmp");
+    EXPECT_TRUE(workloads::byName("data_serving").latencySensitive);
+    EXPECT_FALSE(workloads::byName("mcf").latencySensitive);
+}
+
+TEST(Generator, Deterministic)
+{
+    const SynthProfile &p = workloads::byName("web_search");
+    TraceGenerator a(p, 1234, 0), b(p, 1234, 0);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp &oa = a.next();
+        const MicroOp &ob = b.next();
+        ASSERT_EQ(oa.pc, ob.pc);
+        ASSERT_EQ(static_cast<int>(oa.cls), static_cast<int>(ob.cls));
+        ASSERT_EQ(oa.effAddr, ob.effAddr);
+        ASSERT_EQ(oa.taken, ob.taken);
+        ASSERT_EQ(oa.dest, ob.dest);
+    }
+}
+
+TEST(Generator, SeedsDiffer)
+{
+    const SynthProfile &p = workloads::byName("mcf");
+    TraceGenerator a(p, 1, 0), b(p, 2, 0);
+    unsigned diff = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const MicroOp oa = a.next();
+        const MicroOp ob = b.next();
+        if (oa.effAddr != ob.effAddr || oa.pc != ob.pc)
+            ++diff;
+    }
+    EXPECT_GT(diff, 100u);
+}
+
+TEST(Generator, AsidSeparatesAddressSpaces)
+{
+    const SynthProfile &p = workloads::byName("gcc");
+    TraceGenerator a(p, 1, 0), b(p, 1, 1);
+    EXPECT_NE(a.codeBase(), b.codeBase());
+    EXPECT_LT(a.codeBase(), b.codeBase());
+}
+
+TEST(Generator, ChaseChainSerialisation)
+{
+    // Every chase load must consume the register that the previous chase
+    // load of the same chain produced.
+    const SynthProfile &p = workloads::byName("data_serving");
+    TraceGenerator gen(p, 77, 0);
+    std::map<unsigned, std::uint8_t> last_chain_dest;
+    unsigned chase_seen = 0;
+    for (int i = 0; i < 60000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Load && op.isChase) {
+            ++chase_seen;
+            // Chain registers are the dedicated low registers.
+            EXPECT_EQ(op.src1, op.dest);
+            EXPECT_GE(op.dest, 8);
+            EXPECT_LT(op.dest, 8 + p.chaseChains);
+        }
+    }
+    EXPECT_GT(chase_seen, 50u);
+}
+
+TEST(Generator, SteadyStateBlocksCoverRegions)
+{
+    const SynthProfile &p = workloads::byName("web_search");
+    TraceGenerator gen(p, 5, 0);
+    auto blocks = gen.steadyStateBlocks();
+    std::uint64_t expected =
+        (p.codeBytes + p.hotBytes + p.warmBytes) / cacheBlockBytes;
+    EXPECT_EQ(blocks.size(), expected);
+}
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GeneratorPropertyTest, MixApproximatesProfile)
+{
+    const SynthProfile &p = workloads::byName(GetParam());
+    TraceGenerator gen(p, 99, 0);
+    const int n = 120000;
+    std::map<OpClass, unsigned> counts;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+    // The control-flow walk weights program regions unevenly, so allow a
+    // generous tolerance around the configured static mix.
+    EXPECT_NEAR(double(counts[OpClass::Load]) / n, p.loadFrac,
+                0.4 * p.loadFrac + 0.02);
+    EXPECT_NEAR(double(counts[OpClass::Store]) / n, p.storeFrac,
+                0.4 * p.storeFrac + 0.02);
+    EXPECT_NEAR(double(counts[OpClass::Branch]) / n, p.branchFrac,
+                0.4 * p.branchFrac + 0.02);
+}
+
+TEST_P(GeneratorPropertyTest, AddressesWithinRegions)
+{
+    const SynthProfile &p = workloads::byName(GetParam());
+    TraceGenerator gen(p, 7, 1);
+    for (int i = 0; i < 30000; ++i) {
+        const MicroOp op = gen.next();
+        // PCs stay inside the code footprint.
+        ASSERT_GE(op.pc, gen.codeBase());
+        ASSERT_LT(op.pc, gen.codeBase() + p.codeBytes);
+        if (op.isMem()) {
+            bool in_hot = op.effAddr >= gen.hotBase() &&
+                          op.effAddr < gen.hotBase() + p.hotBytes;
+            bool in_warm = op.effAddr >= gen.warmBase() &&
+                           op.effAddr < gen.warmBase() + p.warmBytes;
+            bool in_cold = op.effAddr >= gen.coldBase() &&
+                           op.effAddr < gen.coldBase() + p.coldBytes;
+            ASSERT_TRUE(in_hot || in_warm || in_cold)
+                << "stray address " << std::hex << op.effAddr;
+        }
+    }
+}
+
+TEST_P(GeneratorPropertyTest, RegisterDiscipline)
+{
+    const SynthProfile &p = workloads::byName(GetParam());
+    TraceGenerator gen(p, 3, 0);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.dest != noReg) {
+            ASSERT_GE(op.dest, 8u);
+            ASSERT_LT(op.dest, numArchRegs);
+        }
+        if (op.src1 != noReg) {
+            ASSERT_LT(op.src1, numArchRegs);
+        }
+        if (op.src2 != noReg) {
+            ASSERT_LT(op.src2, numArchRegs);
+        }
+        if (op.cls == OpClass::Branch) {
+            ASSERT_EQ(op.dest, noReg);
+            if (op.taken) {
+                ASSERT_GE(op.target, gen.codeBase());
+                ASSERT_LT(op.target, gen.codeBase() + p.codeBytes + 4096);
+            }
+        }
+        if (op.isChase) {
+            ASSERT_EQ(static_cast<int>(op.cls),
+                      static_cast<int>(OpClass::Load));
+        }
+    }
+}
+
+TEST_P(GeneratorPropertyTest, BranchOutcomesArePartlyPredictable)
+{
+    const SynthProfile &p = workloads::byName(GetParam());
+    TraceGenerator gen(p, 21, 0);
+    // A per-site last-direction predictor should beat a coin toss by a
+    // wide margin on every profile (sites are strongly biased).
+    std::map<Addr, bool> last_dir;
+    unsigned repeats = 0, correct = 0;
+    for (int i = 0; i < 120000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Branch)
+            continue;
+        auto it = last_dir.find(op.pc);
+        if (it != last_dir.end()) {
+            ++repeats;
+            if (it->second == op.taken)
+                ++correct;
+        }
+        last_dir[op.pc] = op.taken;
+    }
+    ASSERT_GT(repeats, 1000u);
+    EXPECT_GT(double(correct) / repeats, 0.6) << "profile " << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, GeneratorPropertyTest,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &p : workloads::all())
+            names.push_back(p.name);
+        return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace stretch
