@@ -1,0 +1,204 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace stretch::sim
+{
+
+namespace
+{
+
+/** Dispatcher RNG stream tags (decorrelate arrival gaps from demands). */
+constexpr std::uint64_t arrivalStream = 0xa221;
+constexpr std::uint64_t demandStream = 0xde3a;
+
+/** Pending work (ms) queued on a core at time @p now. */
+double
+backlogMs(double free_at, double now)
+{
+    return std::max(0.0, free_at - now);
+}
+
+} // namespace
+
+const char *
+toString(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::RoundRobin:
+        return "round-robin";
+      case PlacementPolicy::LeastLoaded:
+        return "least-loaded";
+      case PlacementPolicy::QosAware:
+        return "qos-aware";
+    }
+    return "?";
+}
+
+FleetConfig
+homogeneousFleet(unsigned n, const RunConfig &base)
+{
+    STRETCH_ASSERT(n > 0, "fleet needs at least one core");
+    FleetConfig fleet;
+    fleet.cores.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        RunConfig core = base;
+        core.seed = mixSeed(base.seed, i);
+        fleet.cores.push_back(core);
+    }
+    fleet.seed = base.seed;
+    return fleet;
+}
+
+DispatchOutcome
+dispatchRequests(const std::vector<double> &serviceRatePerMs,
+                 PlacementPolicy policy, std::uint64_t requests,
+                 double arrivalRatePerMs, std::uint64_t seed)
+{
+    const std::size_t n = serviceRatePerMs.size();
+    STRETCH_ASSERT(n > 0, "dispatch needs at least one core");
+
+    double capacity = 0.0;
+    std::size_t serving = 0;
+    for (double rate : serviceRatePerMs) {
+        STRETCH_ASSERT(rate >= 0.0, "negative service rate");
+        capacity += rate;
+        if (rate > 0.0)
+            ++serving;
+    }
+    STRETCH_ASSERT(serving > 0, "no core in the fleet can serve requests");
+
+    DispatchOutcome out;
+    out.placed.assign(n, 0);
+    out.busyMs.assign(n, 0.0);
+    out.offeredRatePerMs =
+        arrivalRatePerMs > 0.0 ? arrivalRatePerMs : 0.7 * capacity;
+    if (requests == 0)
+        return out;
+
+    Rng arrivals(seed, arrivalStream);
+    Rng demands(seed, demandStream);
+
+    // Each core is a FIFO server; freeAt holds the time its queue drains.
+    std::vector<double> free_at(n, 0.0);
+    std::vector<double> latencies;
+    latencies.reserve(requests);
+
+    double now = 0.0;
+    std::size_t rr_next = 0; // round-robin cursor over serving cores
+    const double mean_gap = 1.0 / out.offeredRatePerMs;
+
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        now += arrivals.exponential(mean_gap);
+        // Demand in "mean-request units": the serving core's rate converts
+        // it to milliseconds, so a fast core finishes the same request
+        // sooner. Drawn before placement so every policy sees the same
+        // request stream.
+        double demand = demands.exponential(1.0);
+
+        std::size_t target = n;
+        switch (policy) {
+          case PlacementPolicy::RoundRobin:
+            while (serviceRatePerMs[rr_next % n] <= 0.0)
+                ++rr_next;
+            target = rr_next % n;
+            ++rr_next;
+            break;
+          case PlacementPolicy::LeastLoaded: {
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < n; ++c) {
+                if (serviceRatePerMs[c] <= 0.0)
+                    continue;
+                double b = backlogMs(free_at[c], now);
+                if (b < best) {
+                    best = b;
+                    target = c;
+                }
+            }
+            break;
+          }
+          case PlacementPolicy::QosAware: {
+            // Predicted sojourn time of THIS request on each core: queue
+            // wait plus its own service time at the core's speed.
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < n; ++c) {
+                if (serviceRatePerMs[c] <= 0.0)
+                    continue;
+                double predicted = backlogMs(free_at[c], now) +
+                                   demand / serviceRatePerMs[c];
+                if (predicted < best) {
+                    best = predicted;
+                    target = c;
+                }
+            }
+            break;
+          }
+        }
+        STRETCH_ASSERT(target < n, "placement selected no core");
+
+        double service = demand / serviceRatePerMs[target];
+        double start = std::max(now, free_at[target]);
+        double done = start + service;
+        free_at[target] = done;
+        out.busyMs[target] += service;
+        ++out.placed[target];
+        latencies.push_back(done - now);
+        out.elapsedMs = std::max(out.elapsedMs, done);
+    }
+
+    out.latencyMs = stats::summarize(latencies);
+    out.throughputRps = out.elapsedMs > 0.0
+                            ? static_cast<double>(requests) /
+                                  (out.elapsedMs / 1000.0)
+                            : 0.0;
+    return out;
+}
+
+FleetResult
+runFleet(const FleetConfig &cfg)
+{
+    const std::size_t n = cfg.cores.size();
+    STRETCH_ASSERT(n > 0, "fleet needs at least one core");
+
+    FleetResult fleet;
+    fleet.cores.resize(n);
+
+    // Per-core simulations share no mutable state and each core's result
+    // depends only on its own RunConfig, so the pool schedule cannot
+    // change any bit of the index-addressed results.
+    ThreadPool::parallelFor(cfg.threads, n, [&](std::size_t i) {
+        fleet.cores[i] = run(cfg.cores[i]);
+    });
+
+    // Ordered reduction over cores (determinism: fixed iteration order).
+    std::vector<double> ls_uipc, batch_uipc;
+    fleet.serviceRatePerMs.assign(n, 0.0);
+    const double cycles_per_ms = coreFreqGhz * 1e6;
+    for (std::size_t i = 0; i < n; ++i) {
+        const RunResult &r = fleet.cores[i];
+        fleet.totalLsUipc += r.uipc[0];
+        ls_uipc.push_back(r.uipc[0]);
+        if (!cfg.cores[i].workload1.empty()) {
+            fleet.totalBatchUipc += r.uipc[1];
+            batch_uipc.push_back(r.uipc[1]);
+        }
+        // LS thread commit rate converted to request service rate.
+        fleet.serviceRatePerMs[i] =
+            r.uipc[0] * cycles_per_ms / cfg.opsPerRequest;
+    }
+    fleet.lsUipc = stats::summarize(ls_uipc);
+    fleet.batchUipc = stats::summarize(batch_uipc);
+
+    fleet.dispatch =
+        dispatchRequests(fleet.serviceRatePerMs, cfg.policy, cfg.requests,
+                         cfg.arrivalRatePerMs, cfg.seed);
+    return fleet;
+}
+
+} // namespace stretch::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fleet layer: many independent Stretch SMT cores serving one request
+ * stream.
+ *
+ * The paper evaluates a single dual-threaded core; a datacenter deploys
+ * racks of them. The fleet layer instantiates N cores — each a complete
+ * RunConfig colocation pair — runs their microarchitectural simulations on
+ * a worker pool (each core's seed derives only from (fleet seed, core
+ * index), so parallel and serial execution are bit-identical), then
+ * dispatches a shared request stream across the cores with a pluggable
+ * placement policy and aggregates per-core results into fleet-level QoS
+ * and throughput summaries.
+ */
+
+#ifndef STRETCH_SIM_FLEET_H
+#define STRETCH_SIM_FLEET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/runner.h"
+#include "stats/summary.h"
+
+namespace stretch::sim
+{
+
+/** How the fleet dispatcher picks a core for each arriving request. */
+enum class PlacementPolicy
+{
+    RoundRobin,  ///< rotate over serving-capable cores, blind to load
+    LeastLoaded, ///< shortest backlog (pending work in ms), ties to lowest id
+    QosAware,    ///< minimize this request's predicted completion latency
+};
+
+/** Human-readable policy name. */
+const char *toString(PlacementPolicy policy);
+
+/** Full description of a fleet experiment. */
+struct FleetConfig
+{
+    /** One entry per SMT core; each is a complete colocation pair. */
+    std::vector<RunConfig> cores;
+
+    PlacementPolicy policy = PlacementPolicy::RoundRobin;
+
+    /// @name Request-dispatch phase.
+    /// @{
+    std::uint64_t requests = 20000; ///< length of the dispatched stream
+    /**
+     * Fleet-wide Poisson arrival rate (requests per millisecond);
+     * 0 selects 70% of the measured aggregate service capacity, a
+     * moderately-loaded datacenter operating point.
+     */
+    double arrivalRatePerMs = 0.0;
+    /** Mean latency-sensitive request length in committed instructions. */
+    double opsPerRequest = 500000.0;
+    std::uint64_t seed = 42; ///< dispatch arrival/demand stream seed
+    /// @}
+
+    /** Pool workers for per-core simulations: 1 = serial, 0 = hardware. */
+    unsigned threads = 0;
+};
+
+/**
+ * Convenience: a fleet of @p n cores cloned from @p base, each with a
+ * decorrelated seed (mixSeed(base.seed, core index)).
+ */
+FleetConfig homogeneousFleet(unsigned n, const RunConfig &base);
+
+/** Outcome of dispatching a request stream over fixed core capacities. */
+struct DispatchOutcome
+{
+    std::vector<std::uint64_t> placed; ///< requests placed on each core
+    std::vector<double> busyMs;        ///< per-core busy (serving) time
+    stats::ViolinSummary latencyMs;    ///< request sojourn-time summary
+    double elapsedMs = 0.0;            ///< last completion time
+    double throughputRps = 0.0;        ///< completed requests per second
+    double offeredRatePerMs = 0.0;     ///< arrival rate actually used
+};
+
+/**
+ * Dispatch @p requests Poisson arrivals over cores with the given
+ * latency-sensitive service rates (requests per millisecond; a rate of 0
+ * marks a core that cannot serve, e.g. an idle LS thread). Each core is a
+ * FIFO server; request service demand is an exponential draw scaled by the
+ * serving core's rate. Fully deterministic in (seed); exposed separately
+ * from runFleet so placement policies are unit-testable without running
+ * microarchitectural simulations.
+ */
+DispatchOutcome dispatchRequests(const std::vector<double> &serviceRatePerMs,
+                                 PlacementPolicy policy,
+                                 std::uint64_t requests,
+                                 double arrivalRatePerMs, std::uint64_t seed);
+
+/** Aggregated outcome of a fleet run. */
+struct FleetResult
+{
+    /** Per-core microarchitectural results, index-matched to the config. */
+    std::vector<RunResult> cores;
+
+    /** Request-dispatch outcome across the fleet. */
+    DispatchOutcome dispatch;
+
+    /// @name Fleet-level throughput (summed core UIPC by thread class).
+    /// @{
+    double totalLsUipc = 0.0;
+    double totalBatchUipc = 0.0;
+    /// @}
+
+    /// @name Across-core UIPC distributions (QoS uniformity).
+    /// @{
+    stats::ViolinSummary lsUipc;
+    stats::ViolinSummary batchUipc;
+    /// @}
+
+    /** Per-core LS service capacity handed to the dispatcher (req/ms). */
+    std::vector<double> serviceRatePerMs;
+};
+
+/**
+ * Run every core's simulation (on cfg.threads pool workers), then dispatch
+ * the request stream and aggregate. Results are bit-identical for any
+ * thread count.
+ */
+FleetResult runFleet(const FleetConfig &cfg);
+
+} // namespace stretch::sim
+
+#endif // STRETCH_SIM_FLEET_H

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "workload/generator.h"
 #include "workload/profiles.h"
 
@@ -136,8 +138,24 @@ run(const RunConfig &cfg)
         colocated ? &workloads::byName(cfg.workload1) : nullptr;
 
     // ---- Sampling loop ----------------------------------------------
-    RunResult agg;
-    for (unsigned s = 0; s < samples; ++s) {
+    // Each sample is a fully independent machine whose seed depends only
+    // on (cfg.seed, sample index), so samples can run on pool workers.
+    // Outcomes land in index-addressed slots and are reduced in sample
+    // order below, making the result bit-identical for any parallelism.
+    struct SampleOutcome
+    {
+        std::array<double, numSmtThreads> uipc{};
+        std::array<ThreadStats, numSmtThreads> stats{};
+        std::array<std::uint64_t, numSmtThreads> l1dMisses{};
+        std::array<std::uint64_t, numSmtThreads> l1iMisses{};
+        std::array<std::uint64_t, numSmtThreads> llcMisses{};
+        std::uint64_t windowCycles = 0;
+    };
+
+    auto warmup_cycles = static_cast<std::uint64_t>(
+        std::max(10000.0, cfg.warmupCycles * g_quickFactor));
+
+    auto runSample = [&](unsigned s, SampleOutcome &out) {
         std::uint64_t sample_seed = mixSeed(cfg.seed, s);
 
         MemoryHierarchy mem(hcfg);
@@ -199,8 +217,6 @@ run(const RunConfig &cfg)
 
         // Warmup: every attached thread must retire warmup_ops, and at
         // least warmup_cycles must elapse (see RunConfig::warmupCycles).
-        auto warmup_cycles = static_cast<std::uint64_t>(
-            std::max(10000.0, cfg.warmupCycles * g_quickFactor));
         std::uint64_t cap = warmup_ops * 400 + 2000000;
         core.runUntilCommitted(0, warmup_ops, cap);
         if (colocated && core.stats(1).committedOps < warmup_ops) {
@@ -223,10 +239,32 @@ run(const RunConfig &cfg)
                 1, measure_ops - core.stats(1).committedOps, cap);
         }
 
-        // Aggregate.
+        // Capture this sample's outcome into its slot.
         for (ThreadId t = 0; t < numSmtThreads; ++t) {
-            agg.uipc[t] += core.uipc(t) / samples;
-            const ThreadStats &st = core.stats(t);
+            out.uipc[t] = core.uipc(t);
+            out.stats[t] = core.stats(t);
+            out.l1dMisses[t] = mem.l1dMisses(t);
+            out.l1iMisses[t] = mem.l1iMisses(t);
+            out.llcMisses[t] = mem.llcMisses(t);
+        }
+        out.windowCycles = core.windowCycles();
+    };
+
+    std::vector<SampleOutcome> outcomes(samples);
+    ThreadPool::parallelFor(cfg.parallelism, samples,
+                            [&](std::size_t s) {
+                                runSample(static_cast<unsigned>(s),
+                                          outcomes[s]);
+                            });
+
+    // Ordered reduction: identical arithmetic to the historical serial
+    // loop, so parallelism never changes a reported number.
+    RunResult agg;
+    for (unsigned s = 0; s < samples; ++s) {
+        const SampleOutcome &out = outcomes[s];
+        for (ThreadId t = 0; t < numSmtThreads; ++t) {
+            agg.uipc[t] += out.uipc[t] / samples;
+            const ThreadStats &st = out.stats[t];
             ThreadStats &dst = agg.stats[t];
             dst.committedOps += st.committedOps;
             dst.fetchedOps += st.fetchedOps;
@@ -244,11 +282,11 @@ run(const RunConfig &cfg)
             dst.fetchStallFlush += st.fetchStallFlush;
             for (std::size_t i = 0; i < st.mlpCycles.size(); ++i)
                 dst.mlpCycles[i] += st.mlpCycles[i];
-            agg.l1dMissCount[t] += mem.l1dMisses(t);
-            agg.l1iMissCount[t] += mem.l1iMisses(t);
-            agg.llcMissCount[t] += mem.llcMisses(t);
+            agg.l1dMissCount[t] += out.l1dMisses[t];
+            agg.l1iMissCount[t] += out.l1iMisses[t];
+            agg.llcMissCount[t] += out.llcMisses[t];
         }
-        agg.totalCycles += core.windowCycles();
+        agg.totalCycles += out.windowCycles;
     }
     return agg;
 }

@@ -89,6 +89,13 @@ struct RunConfig
     std::uint64_t warmupCycles = 30000;
     std::uint64_t measureOps = 30000;  ///< per-thread measured commits
     std::uint64_t seed = 42;
+    /**
+     * Worker threads for the sampling loop: 1 = serial (default),
+     * 0 = hardware concurrency, N = exactly N workers. Samples are
+     * independent machines with index-derived seeds and are reduced in
+     * sample order, so the result is bit-identical for any value.
+     */
+    unsigned parallelism = 1;
     /// @}
 };
 

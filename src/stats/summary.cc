@@ -14,20 +14,32 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
-double
-percentile(std::vector<double> values, double pct)
+namespace
 {
-    if (values.empty())
+
+/** Type-7 percentile of an already-sorted sample set. */
+double
+percentileSorted(const std::vector<double> &sorted, double pct)
+{
+    if (sorted.empty())
         return 0.0;
     STRETCH_ASSERT(pct >= 0.0 && pct <= 100.0, "percentile out of range: ", pct);
-    std::sort(values.begin(), values.end());
-    if (values.size() == 1)
-        return values.front();
-    double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+    if (sorted.size() == 1)
+        return sorted.front();
+    double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
     auto lo = static_cast<std::size_t>(std::floor(rank));
     auto hi = static_cast<std::size_t>(std::ceil(rank));
     double frac = rank - static_cast<double>(lo);
-    return values[lo] + (values[hi] - values[lo]) * frac;
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    std::sort(values.begin(), values.end());
+    return percentileSorted(values, pct);
 }
 
 ViolinSummary
@@ -41,9 +53,11 @@ summarize(const std::vector<double> &values)
     std::sort(sorted.begin(), sorted.end());
     s.min = sorted.front();
     s.max = sorted.back();
-    s.q1 = percentile(sorted, 25.0);
-    s.median = percentile(sorted, 50.0);
-    s.q3 = percentile(sorted, 75.0);
+    s.q1 = percentileSorted(sorted, 25.0);
+    s.median = percentileSorted(sorted, 50.0);
+    s.q3 = percentileSorted(sorted, 75.0);
+    s.p95 = percentileSorted(sorted, 95.0);
+    s.p99 = percentileSorted(sorted, 99.0);
     double sum = 0.0;
     for (double v : sorted)
         sum += v;

@@ -70,6 +70,11 @@ struct ViolinSummary
     double q3 = 0.0;
     double max = 0.0;
     double mean = 0.0;
+    /// @name Tail percentiles (fleet QoS reporting: SLOs bind at the tail).
+    /// @{
+    double p95 = 0.0;
+    double p99 = 0.0;
+    /// @}
 };
 
 /**

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Fixed-size worker pool for running independent simulations in parallel.
+ *
+ * The simulator's parallelism is embarrassing: per-core fleet simulations
+ * and per-sample runner iterations share no mutable state, so the pool only
+ * needs task submission and a join. Determinism is preserved by
+ * construction rather than by the pool: every task derives its RNG seed
+ * from its index (mixSeed(seed, index)) and writes its result into an
+ * index-addressed slot, and callers reduce the slots in index order — so
+ * the schedule the workers happen to pick can never change a result bit.
+ */
+
+#ifndef STRETCH_UTIL_THREAD_POOL_H
+#define STRETCH_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/log.h"
+
+namespace stretch
+{
+
+/**
+ * A fixed set of worker threads draining a FIFO task queue.
+ *
+ * The first exception thrown by any task is captured and rethrown from
+ * wait(), after all remaining tasks have drained (tasks are independent,
+ * so later tasks cannot be corrupted by an earlier failure).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 selects the hardware concurrency.
+     */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0) {
+            threads = std::thread::hardware_concurrency();
+            if (threads == 0)
+                threads = 1;
+        }
+        workers.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            stopping = true;
+        }
+        cv.notify_all();
+        for (auto &w : workers)
+            w.join();
+    }
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers.size(); }
+
+    /** Enqueue a task; runs as soon as a worker is free. */
+    void
+    submit(std::function<void()> task)
+    {
+        STRETCH_ASSERT(task, "cannot submit an empty task");
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            STRETCH_ASSERT(!stopping, "submit after pool shutdown");
+            queue.push_back(std::move(task));
+            ++outstanding;
+        }
+        cv.notify_one();
+    }
+
+    /**
+     * Block until every submitted task has finished; rethrows the first
+     * task exception. The caller's thread also drains queued tasks while
+     * waiting, so a pool is usable even from inside another pool's task.
+     */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        while (true) {
+            if (!queue.empty()) {
+                auto task = std::move(queue.front());
+                queue.pop_front();
+                lock.unlock();
+                runTask(std::move(task));
+                lock.lock();
+                continue;
+            }
+            if (outstanding == 0)
+                break;
+            idleCv.wait(lock,
+                        [this] { return outstanding == 0 || !queue.empty(); });
+        }
+        if (firstError) {
+            std::exception_ptr err = firstError;
+            firstError = nullptr;
+            lock.unlock();
+            std::rethrow_exception(err);
+        }
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n) on @p threads workers and join.
+     * threads == 1 runs inline with no pool at all, so serial callers pay
+     * nothing; threads == 0 uses the hardware concurrency.
+     */
+    static void
+    parallelFor(unsigned threads, std::size_t n,
+                const std::function<void(std::size_t)> &fn)
+    {
+        if (threads == 1 || n <= 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&fn, i] { fn(i); });
+        pool.wait();
+    }
+
+  private:
+    void
+    runTask(std::function<void()> task)
+    {
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (err && !firstError)
+                firstError = err;
+            --outstanding;
+        }
+        idleCv.notify_all();
+    }
+
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        while (true) {
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty()) {
+                if (stopping)
+                    return;
+                continue;
+            }
+            auto task = std::move(queue.front());
+            queue.pop_front();
+            lock.unlock();
+            runTask(std::move(task));
+            lock.lock();
+        }
+    }
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable cv;     ///< wakes workers on submit/shutdown
+    std::condition_variable idleCv; ///< wakes wait() on task completion
+    std::size_t outstanding = 0;
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+} // namespace stretch
+
+#endif // STRETCH_UTIL_THREAD_POOL_H

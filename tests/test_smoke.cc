@@ -44,5 +44,32 @@ TEST(Smoke, ColocationRuns)
     EXPECT_GT(r.uipc[1], 0.02);
 }
 
+/**
+ * Full latency-sensitive x batch sweep with a short measurement window.
+ * Registered in CTest as its own test with the "slow" label, so
+ * `ctest -LE slow` runs the quick suite and `ctest -L slow` (or a plain
+ * `ctest`) covers every colocation pair the paper evaluates.
+ */
+TEST(SmokeSlow, EveryColocationPairProducesSaneUipc)
+{
+    sim::RunConfig base;
+    base.samples = 1;
+    base.warmupOps = 2000;
+    base.measureOps = 5000;
+
+    for (const std::string &ls : workloads::latencySensitiveNames()) {
+        for (const std::string &batch : workloads::batchNames()) {
+            sim::RunConfig cfg = base;
+            cfg.workload0 = ls;
+            cfg.workload1 = batch;
+            sim::RunResult r = sim::run(cfg);
+            EXPECT_GT(r.uipc[0], 0.01) << ls << " + " << batch;
+            EXPECT_LT(r.uipc[0], 6.0) << ls << " + " << batch;
+            EXPECT_GT(r.uipc[1], 0.01) << ls << " + " << batch;
+            EXPECT_LT(r.uipc[1], 6.0) << ls << " + " << batch;
+        }
+    }
+}
+
 } // namespace
 } // namespace stretch

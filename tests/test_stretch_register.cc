@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the Stretch control register (Section IV-C): encode and
+ * decode round-trips, reserved-bit masking on writes, and the pipeline
+ * flush accounting that accompanies mode transitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bp/branch_unit.h"
+#include "cache/memory_hierarchy.h"
+#include "core/smt_core.h"
+#include "qos/stretch_controller.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace stretch
+{
+namespace
+{
+
+TEST(StretchModeRegister, EncodeDecodeRoundTrips)
+{
+    for (StretchMode mode : {StretchMode::Baseline, StretchMode::BatchBoost,
+                             StretchMode::QosBoost}) {
+        StretchModeRegister reg;
+        reg.write(StretchModeRegister::encode(mode));
+        EXPECT_EQ(reg.decode(), mode) << toString(mode);
+        EXPECT_EQ(reg.read(), StretchModeRegister::encode(mode));
+    }
+}
+
+TEST(StretchModeRegister, EncodingMatchesSectionIvC)
+{
+    // Bit 0 = S-bit (engage), bit 1 = B/Q selector.
+    EXPECT_EQ(StretchModeRegister::encode(StretchMode::Baseline), 0x0);
+    EXPECT_EQ(StretchModeRegister::encode(StretchMode::BatchBoost), 0x1);
+    EXPECT_EQ(StretchModeRegister::encode(StretchMode::QosBoost), 0x3);
+}
+
+TEST(StretchModeRegister, WriteMasksReservedBits)
+{
+    StretchModeRegister reg;
+    reg.write(0xff);
+    EXPECT_EQ(reg.read(), 0x3); // only bits 0-1 are architected
+    EXPECT_EQ(reg.decode(), StretchMode::QosBoost);
+
+    reg.write(0xfc);
+    EXPECT_EQ(reg.read(), 0x0);
+    EXPECT_EQ(reg.decode(), StretchMode::Baseline);
+}
+
+TEST(StretchModeRegister, BqBitIgnoredWhileDisengaged)
+{
+    // S-bit clear means Baseline no matter what the selector holds.
+    StretchModeRegister reg;
+    reg.write(0x2);
+    EXPECT_EQ(reg.decode(), StretchMode::Baseline);
+}
+
+/** A full machine with both threads running, for controller tests. */
+class StretchControllerTest : public ::testing::Test
+{
+  protected:
+    StretchControllerTest()
+        : mem(HierarchyConfig{}), bp(BranchUnitConfig{}),
+          core(CoreParams{}, mem, bp),
+          gen0(workloads::byName("web_search"), 11, 0),
+          gen1(workloads::byName("zeusmp"), 12, 1)
+    {
+        core.attachThread(0, &gen0);
+        core.attachThread(1, &gen1);
+    }
+
+    MemoryHierarchy mem;
+    BranchUnit bp;
+    SmtCore core;
+    TraceGenerator gen0;
+    TraceGenerator gen1;
+};
+
+TEST_F(StretchControllerTest, EngageProgramsSkewedLimits)
+{
+    StretchController ctl(core, /*ls_thread=*/0);
+
+    ctl.engage(StretchMode::BatchBoost);
+    EXPECT_EQ(core.rob().limit(0), 56u);
+    EXPECT_EQ(core.rob().limit(1), 136u);
+
+    ctl.engage(StretchMode::QosBoost);
+    EXPECT_EQ(core.rob().limit(0), 136u);
+    EXPECT_EQ(core.rob().limit(1), 56u);
+
+    // Re-homing the LS thread mirrors the limits.
+    ctl.setLsThread(1);
+    EXPECT_EQ(core.rob().limit(0), 56u);
+    EXPECT_EQ(core.rob().limit(1), 136u);
+}
+
+TEST_F(StretchControllerTest, ModeChangeCountingIsIdempotent)
+{
+    StretchController ctl(core, 0);
+    EXPECT_EQ(ctl.modeChanges(), 0u);
+
+    ctl.engage(StretchMode::Baseline); // already engaged: no-op
+    EXPECT_EQ(ctl.modeChanges(), 0u);
+
+    ctl.engage(StretchMode::BatchBoost);
+    EXPECT_EQ(ctl.modeChanges(), 1u);
+    ctl.engage(StretchMode::BatchBoost); // same mode: no flush
+    EXPECT_EQ(ctl.modeChanges(), 1u);
+
+    ctl.engage(StretchMode::QosBoost);
+    EXPECT_EQ(ctl.modeChanges(), 2u);
+    ctl.engage(StretchMode::Baseline);
+    EXPECT_EQ(ctl.modeChanges(), 3u);
+}
+
+TEST_F(StretchControllerTest, ModeTransitionChargesPipelineFlush)
+{
+    StretchController ctl(core, 0);
+
+    // Fill the pipeline, then transition: both threads must observe
+    // flush-penalty fetch-stall cycles while they refill.
+    core.run(3000);
+    core.clearStats();
+    EXPECT_EQ(core.stats(0).fetchStallFlush, 0u);
+    EXPECT_EQ(core.stats(1).fetchStallFlush, 0u);
+
+    ctl.engage(StretchMode::BatchBoost);
+    core.run(200);
+    EXPECT_GT(core.stats(0).fetchStallFlush, 0u);
+    EXPECT_GT(core.stats(1).fetchStallFlush, 0u);
+
+    // Both threads keep making forward progress after the transition.
+    std::uint64_t c0 = core.stats(0).committedOps;
+    std::uint64_t c1 = core.stats(1).committedOps;
+    core.run(5000);
+    EXPECT_GT(core.stats(0).committedOps, c0);
+    EXPECT_GT(core.stats(1).committedOps, c1);
+}
+
+TEST_F(StretchControllerTest, NoTransitionNoFlushCycles)
+{
+    StretchController ctl(core, 0);
+    core.run(3000);
+    core.clearStats();
+    ctl.engage(StretchMode::Baseline); // no-op: already baseline
+    core.run(200);
+    EXPECT_EQ(core.stats(0).fetchStallFlush, 0u);
+    EXPECT_EQ(core.stats(1).fetchStallFlush, 0u);
+}
+
+} // namespace
+} // namespace stretch
