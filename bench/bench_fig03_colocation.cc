@@ -29,11 +29,20 @@ main(int argc, char **argv)
         header.push_back(h);
     table.setHeader(header);
 
+    // Simulate all colocations and isolated baselines on the worker pool.
+    std::vector<sim::RunConfig> plan;
+    forEachPair([&](const std::string &ls, const std::string &batch) {
+        sim::RunConfig cfg = baseConfig(opt);
+        cfg.workload0 = ls;
+        cfg.workload1 = batch;
+        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+        plan.push_back(cfg);
+        plan.push_back(isolatedConfig(ls, opt));
+        plan.push_back(isolatedConfig(batch, opt));
+    });
+    warmCache(plan, "fig03");
+
     std::vector<double> all_ls, all_batch;
-    std::size_t total =
-        workloads::latencySensitiveNames().size() *
-        workloads::batchNames().size();
-    std::size_t done = 0;
 
     for (const auto &ls : workloads::latencySensitiveNames()) {
         std::vector<double> ls_slow, batch_slow;
@@ -47,7 +56,6 @@ main(int argc, char **argv)
             double iso_batch = isolatedRun(batch, opt).uipc[0];
             ls_slow.push_back(1.0 - co.uipc[0] / iso_ls);
             batch_slow.push_back(1.0 - co.uipc[1] / iso_batch);
-            progress("fig03", ++done, total);
         }
         all_ls.insert(all_ls.end(), ls_slow.begin(), ls_slow.end());
         all_batch.insert(all_batch.end(), batch_slow.begin(),

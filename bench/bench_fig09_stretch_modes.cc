@@ -30,10 +30,24 @@ main(int argc, char **argv)
     const std::vector<std::pair<unsigned, unsigned>> qmodes = {
         {128, 64}, {136, 56}, {144, 48}, {152, 40}, {160, 32}};
 
-    std::size_t pairs = workloads::latencySensitiveNames().size() *
-                        workloads::batchNames().size();
-    std::size_t total = pairs * (bmodes.size() + qmodes.size() + 1);
-    std::size_t done = 0;
+    // Every run the figure needs, simulated once on the worker pool.
+    std::vector<sim::RunConfig> plan;
+    forEachPair([&](const std::string &ls, const std::string &batch) {
+        sim::RunConfig cfg = baseConfig(opt);
+        cfg.workload0 = ls;
+        cfg.workload1 = batch;
+        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+        plan.push_back(cfg);
+        cfg.rob.kind = sim::RobConfigKind::Asymmetric;
+        for (const auto &skews : {bmodes, qmodes}) {
+            for (auto [ls_rob, batch_rob] : skews) {
+                cfg.rob.limit0 = ls_rob;
+                cfg.rob.limit1 = batch_rob;
+                plan.push_back(cfg);
+            }
+        }
+    });
+    warmCache(plan, "fig09");
 
     stats::Table table("Figure 9: Stretch mode speedup vs equal ROB "
                        "partition");
@@ -61,7 +75,6 @@ main(int argc, char **argv)
 
                 ls_change.push_back(mode.uipc[0] / base.uipc[0] - 1.0);
                 batch_change.push_back(mode.uipc[1] / base.uipc[1] - 1.0);
-                progress("fig09", ++done, total);
             });
             std::string skew = std::to_string(ls_rob) + "-" +
                                std::to_string(batch_rob) + " " + label;
@@ -75,16 +88,6 @@ main(int argc, char **argv)
             table.addRow(row);
         }
     };
-
-    // Warm the baseline cache so the progress meter adds up.
-    forEachPair([&](const std::string &ls, const std::string &batch) {
-        sim::RunConfig cfg = baseConfig(opt);
-        cfg.workload0 = ls;
-        cfg.workload1 = batch;
-        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
-        cachedRun(cfg);
-        progress("fig09", ++done, total);
-    });
 
     evaluate(bmodes, "(B)");
     evaluate(qmodes, "(Q)");

@@ -24,10 +24,29 @@ main(int argc, char **argv)
     Options opt = parseArgs(argc, argv);
 
     const std::vector<unsigned> ratios = {2, 4, 8, 16};
-    std::size_t pairs = workloads::latencySensitiveNames().size() *
-                        workloads::batchNames().size();
-    std::size_t total = pairs * (ratios.size() + 2);
-    std::size_t done = 0;
+
+    // Every run the figure needs, simulated once on the worker pool.
+    std::vector<sim::RunConfig> plan;
+    forEachPair([&](const std::string &ls, const std::string &batch) {
+        sim::RunConfig cfg = baseConfig(opt);
+        cfg.workload0 = ls;
+        cfg.workload1 = batch;
+        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+        plan.push_back(cfg);
+        for (unsigned m : ratios) {
+            sim::RunConfig ft = cfg;
+            ft.rob.kind = sim::RobConfigKind::DynamicShared;
+            ft.fetchPolicy = FetchPolicy::Throttle;
+            ft.throttleRatio = m;
+            ft.throttledThread = 0;
+            plan.push_back(ft);
+        }
+        cfg.rob.kind = sim::RobConfigKind::Asymmetric;
+        cfg.rob.limit0 = 56;
+        cfg.rob.limit1 = 136;
+        plan.push_back(cfg);
+    });
+    warmCache(plan, "fig12");
 
     stats::Table batch_table(
         "Figure 12 (top): avg batch speedup vs equal partition");
@@ -57,7 +76,6 @@ main(int argc, char **argv)
                 const sim::RunResult &alt = cachedRun(cfg);
                 bsum += alt.uipc[1] / base.uipc[1] - 1.0;
                 lsum += 1.0 - alt.uipc[0] / base.uipc[0];
-                progress("fig12", ++done, total);
             }
             double n = static_cast<double>(workloads::batchNames().size());
             brow.push_back(stats::Table::pct(bsum / n));
@@ -70,16 +88,6 @@ main(int argc, char **argv)
         batch_table.addRow(brow);
         ls_table.addRow(lrow);
     };
-
-    // Warm the baseline cache (also covers the progress meter's first lap).
-    forEachPair([&](const std::string &ls, const std::string &batch) {
-        sim::RunConfig cfg = baseConfig(opt);
-        cfg.workload0 = ls;
-        cfg.workload1 = batch;
-        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
-        cachedRun(cfg);
-        progress("fig12", ++done, total);
-    });
 
     for (unsigned m : ratios) {
         evaluate("FT 1:" + std::to_string(m),

@@ -22,10 +22,32 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
-    std::size_t pairs = workloads::latencySensitiveNames().size() *
-                        workloads::batchNames().size();
-    std::size_t total = pairs * 4;
-    std::size_t done = 0;
+    // Every run the figure needs, simulated once on the worker pool.
+    std::vector<sim::RunConfig> plan;
+    forEachPair([&](const std::string &ls, const std::string &batch) {
+        sim::RunConfig cfg = baseConfig(opt);
+        cfg.workload0 = ls;
+        cfg.workload1 = batch;
+        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+        plan.push_back(cfg);
+        for (bool private_structs : {true, false}) {
+            for (bool bmode : {false, true}) {
+                if (!private_structs && !bmode)
+                    continue; // that's the baseline again
+                sim::RunConfig alt = cfg;
+                alt.shareL1i = !private_structs;
+                alt.shareL1d = !private_structs;
+                alt.shareBp = !private_structs;
+                if (bmode) {
+                    alt.rob.kind = sim::RobConfigKind::Asymmetric;
+                    alt.rob.limit0 = 56;
+                    alt.rob.limit1 = 136;
+                }
+                plan.push_back(alt);
+            }
+        }
+    });
+    warmCache(plan, "fig13");
 
     stats::Table table("Figure 13: batch speedup vs baseline core");
     std::vector<std::string> header = {"config"};
@@ -57,7 +79,6 @@ main(int argc, char **argv)
                 }
                 const sim::RunResult &alt = cachedRun(cfg);
                 sum += alt.uipc[1] / base.uipc[1] - 1.0;
-                progress("fig13", ++done, total);
             }
             double n = static_cast<double>(workloads::batchNames().size());
             row.push_back(stats::Table::pct(sum / n));
@@ -66,16 +87,6 @@ main(int argc, char **argv)
         row.push_back(stats::Table::pct(all));
         table.addRow(row);
     };
-
-    // Warm the shared baseline runs once.
-    forEachPair([&](const std::string &ls, const std::string &batch) {
-        sim::RunConfig cfg = baseConfig(opt);
-        cfg.workload0 = ls;
-        cfg.workload1 = batch;
-        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
-        cachedRun(cfg);
-        progress("fig13", ++done, total);
-    });
 
     evaluate("Ideal Software Scheduling", true, false);
     evaluate("Stretch", false, true);

@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "util/log.h"
+#include "util/thread_pool.h"
 #include "workload/profiles.h"
 
 namespace stretch::bench
@@ -67,26 +69,83 @@ configKey(const sim::RunConfig &c)
     return os.str();
 }
 
+// The memo is shared between serial cachedRun calls and warmCache's pool
+// workers; the mutex covers lookup and insertion. std::map never
+// invalidates references on insert, so returned references stay valid.
+std::mutex memoMutex;
+std::map<std::string, sim::RunResult> &
+memo()
+{
+    static std::map<std::string, sim::RunResult> m;
+    return m;
+}
+
 } // namespace
 
 const sim::RunResult &
 cachedRun(const sim::RunConfig &cfg)
 {
-    static std::map<std::string, sim::RunResult> memo;
     std::string key = configKey(cfg);
-    auto it = memo.find(key);
-    if (it == memo.end())
-        it = memo.emplace(key, sim::run(cfg)).first;
-    return it->second;
+    {
+        std::lock_guard<std::mutex> lock(memoMutex);
+        auto it = memo().find(key);
+        if (it != memo().end())
+            return it->second;
+    }
+    sim::RunResult result = sim::run(cfg);
+    std::lock_guard<std::mutex> lock(memoMutex);
+    return memo().emplace(key, result).first->second;
+}
+
+void
+warmCache(const std::vector<sim::RunConfig> &cfgs, const std::string &label)
+{
+    // Dedupe the plan and drop configurations already memoized; the
+    // misses run on one pool worker per hardware thread. Each simulation
+    // is deterministic in its config alone, so the pool schedule cannot
+    // change a result, only the wall-clock.
+    std::vector<const sim::RunConfig *> misses;
+    {
+        std::lock_guard<std::mutex> lock(memoMutex);
+        std::map<std::string, const sim::RunConfig *> plan;
+        for (const sim::RunConfig &cfg : cfgs) {
+            std::string key = configKey(cfg);
+            if (memo().find(key) == memo().end())
+                plan.emplace(key, &cfg);
+        }
+        misses.reserve(plan.size());
+        for (const auto &[key, cfg] : plan)
+            misses.push_back(cfg);
+    }
+    if (misses.empty())
+        return;
+
+    // The meter is serialized so a straggler can never print a stale
+    // count over the final "done/total" line.
+    std::mutex meterMutex;
+    std::size_t done = 0;
+    ThreadPool::parallelFor(0, misses.size(), [&](std::size_t i) {
+        cachedRun(*misses[i]);
+        if (!label.empty()) {
+            std::lock_guard<std::mutex> lock(meterMutex);
+            progress(label, ++done, misses.size());
+        }
+    });
+}
+
+sim::RunConfig
+isolatedConfig(const std::string &workload, const Options &opt)
+{
+    sim::RunConfig cfg = baseConfig(opt);
+    cfg.workload0 = workload;
+    cfg.workload1.clear();
+    return cfg;
 }
 
 const sim::RunResult &
 isolatedRun(const std::string &workload, const Options &opt)
 {
-    sim::RunConfig cfg = baseConfig(opt);
-    cfg.workload0 = workload;
-    cfg.workload1.clear();
-    return cachedRun(cfg);
+    return cachedRun(isolatedConfig(workload, opt));
 }
 
 void

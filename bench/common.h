@@ -38,9 +38,24 @@ sim::RunConfig baseConfig(const Options &opt);
 
 /**
  * Run a configuration with memoization: identical configurations within
- * one bench process are simulated once.
+ * one bench process are simulated once. Thread-safe.
  */
 const sim::RunResult &cachedRun(const sim::RunConfig &cfg);
+
+/**
+ * Simulate every not-yet-memoized configuration on a worker pool (one
+ * worker per hardware thread) and memoize the results, so later
+ * cachedRun calls are cache hits. Each configuration is an independent
+ * deterministic simulation, so results — and therefore every table a
+ * bench prints afterwards — are bit-identical to serial execution.
+ * Reports progress under @p label when non-empty.
+ */
+void warmCache(const std::vector<sim::RunConfig> &cfgs,
+               const std::string &label = "");
+
+/** The configuration isolatedRun simulates (for warmCache plans). */
+sim::RunConfig isolatedConfig(const std::string &workload,
+                              const Options &opt);
 
 /** Memoized isolated full-machine run. */
 const sim::RunResult &isolatedRun(const std::string &workload,

@@ -40,11 +40,12 @@ main()
     sim::FleetResult r = sim::runFleet(fleet);
 
     std::printf("8-core fleet: web_search colocated with zeusmp/mcf\n\n");
-    std::printf("%-14s %10s %10s %12s %12s %12s\n", "policy", "LS UIPC",
-                "batch UIPC", "median ms", "p99 ms", "kreq/s");
+    std::printf("%-14s %10s %10s %12s %12s %12s %12s\n", "policy", "LS UIPC",
+                "batch UIPC", "median ms", "p99 ms", "p99.9 ms", "kreq/s");
 
     for (sim::PlacementPolicy policy : {sim::PlacementPolicy::RoundRobin,
                                         sim::PlacementPolicy::LeastLoaded,
+                                        sim::PlacementPolicy::PowerOfTwo,
                                         sim::PlacementPolicy::QosAware}) {
         sim::DispatchOutcome d =
             policy == fleet.policy
@@ -52,9 +53,9 @@ main()
                 : sim::dispatchRequests(r.serviceRatePerMs, policy,
                                         fleet.requests,
                                         fleet.arrivalRatePerMs, fleet.seed);
-        std::printf("%-14s %10.3f %10.3f %12.3f %12.3f %12.1f\n",
+        std::printf("%-14s %10.3f %10.3f %12.3f %12.3f %12.3f %12.1f\n",
                     sim::toString(policy), r.totalLsUipc, r.totalBatchUipc,
-                    d.latencyMs.median, d.latencyMs.p99,
+                    d.latencyMs.median, d.latencyMs.p99, d.latencyMs.p999,
                     d.throughputRps / 1000.0);
     }
 

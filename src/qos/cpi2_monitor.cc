@@ -32,6 +32,16 @@ Cpi2Monitor::evaluateWindow()
 }
 
 MonitorDecision
+Cpi2Monitor::evaluateWindowNow()
+{
+    if (window.empty())
+        return last;
+    double tail = stats::percentile(window, cfg.tailPercentile);
+    window.clear();
+    return evaluateTail(tail);
+}
+
+MonitorDecision
 Cpi2Monitor::evaluateTail(double tail)
 {
     MonitorDecision d = last;

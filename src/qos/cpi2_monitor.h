@@ -74,11 +74,22 @@ class Cpi2Monitor
     /** True once a full decision window has accumulated. */
     bool windowReady() const { return window.size() >= cfg.windowRequests; }
 
+    /** Latencies accumulated in the current (possibly partial) window. */
+    std::size_t windowFill() const { return window.size(); }
+
     /**
      * Evaluate the completed window and return the desired operating
      * point; resets the window. Call only when windowReady().
      */
     MonitorDecision evaluateWindow();
+
+    /**
+     * Evaluate whatever has accumulated in the current window, full or
+     * not — for quantum-driven controllers that decide on a time boundary
+     * rather than a request-count boundary; resets the window. Returns
+     * the previous decision unchanged when the window is empty.
+     */
+    MonitorDecision evaluateWindowNow();
 
     /**
      * Evaluate a pre-aggregated tail-latency observation (used when the

@@ -11,6 +11,8 @@
 #ifndef STRETCH_QUEUEING_ARRIVALS_H
 #define STRETCH_QUEUEING_ARRIVALS_H
 
+#include <variant>
+
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -91,6 +93,43 @@ class MmppArrivals
     double rate[2] = {1.0, 1.0};
     double dwell[2];
     int state = 0;
+};
+
+/**
+ * Run-time choice between the two arrival models, so event-engine callers
+ * (the fleet dispatcher, the service simulator) can switch between smooth
+ * Poisson traffic and bursty MMPP-2 traffic with one configuration knob.
+ */
+class ArrivalProcess
+{
+  public:
+    /** Memoryless arrivals at @p rate_per_ms. */
+    static ArrivalProcess
+    poisson(double rate_per_ms)
+    {
+        return ArrivalProcess(PoissonArrivals(rate_per_ms));
+    }
+
+    /** MMPP-2 bursts around a long-run mean of @p mean_rate_per_ms. */
+    static ArrivalProcess
+    mmpp(double mean_rate_per_ms, double burst_ratio, double dwell_low_ms,
+         double dwell_high_ms)
+    {
+        return ArrivalProcess(MmppArrivals(mean_rate_per_ms, burst_ratio,
+                                           dwell_low_ms, dwell_high_ms));
+    }
+
+    /** Next interarrival gap in milliseconds. */
+    double
+    next(Rng &rng)
+    {
+        return std::visit([&rng](auto &arr) { return arr.next(rng); }, impl);
+    }
+
+  private:
+    using Impl = std::variant<PoissonArrivals, MmppArrivals>;
+    explicit ArrivalProcess(Impl impl) : impl(std::move(impl)) {}
+    Impl impl;
 };
 
 } // namespace stretch::queueing

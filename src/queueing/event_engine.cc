@@ -1,0 +1,119 @@
+#include "queueing/event_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/log.h"
+
+namespace stretch::queueing
+{
+
+namespace
+{
+constexpr double inf = std::numeric_limits<double>::infinity();
+}
+
+EventEngine::EventEngine(std::size_t servers) : srv(servers)
+{
+    STRETCH_ASSERT(servers > 0, "engine needs at least one server");
+}
+
+std::size_t
+EventEngine::leastFreeServer() const
+{
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < srv.size(); ++s) {
+        if (srv[s].freeAtMs < srv[best].freeAtMs)
+            best = s;
+    }
+    return best;
+}
+
+double
+EventEngine::backlogMs(std::size_t s, double now) const
+{
+    STRETCH_ASSERT(s < srv.size(), "bad server index");
+    return std::max(0.0, srv[s].freeAtMs - now);
+}
+
+void
+EventEngine::chargeCapacity(std::size_t s, double now, double ms)
+{
+    STRETCH_ASSERT(s < srv.size(), "bad server index");
+    STRETCH_ASSERT(ms >= 0.0, "negative capacity charge");
+    srv[s].freeAtMs = std::max(srv[s].freeAtMs, now) + ms;
+}
+
+void
+EventEngine::drainUntil(double t, const Callbacks &cb)
+{
+    for (;;) {
+        double tc = pending.empty() ? inf : pending.top().finishMs;
+        double tq = cb.quantumMs > 0.0 ? nextBoundary : inf;
+        // Completions first on ties: a request finishing exactly on a
+        // boundary belongs to the window the boundary closes.
+        if (tc <= tq && tc <= t) {
+            Pending p = pending.top();
+            pending.pop();
+            if (cb.onComplete) {
+                Completion c;
+                c.index = p.index;
+                c.server = p.server;
+                c.arrivalMs = p.arrivalMs;
+                c.startMs = p.startMs;
+                c.finishMs = p.finishMs;
+                cb.onComplete(c);
+            }
+            continue;
+        }
+        if (tq < tc && tq <= t) {
+            if (cb.onQuantum)
+                cb.onQuantum(tq);
+            nextBoundary += cb.quantumMs;
+            continue;
+        }
+        break;
+    }
+}
+
+void
+EventEngine::run(std::uint64_t requests, const Callbacks &cb)
+{
+    STRETCH_ASSERT(cb.nextGap && cb.nextDemand && cb.place && cb.finish,
+                   "engine callbacks nextGap/nextDemand/place/finish are "
+                   "required");
+    STRETCH_ASSERT(cb.quantumMs >= 0.0, "negative control quantum");
+    // Fresh simulation state: a reused engine must not leak the previous
+    // run's queues, makespan, or undelivered events.
+    srv.assign(srv.size(), ServerState{});
+    pending = {};
+    elapsed = 0.0;
+    nextBoundary = cb.quantumMs;
+
+    double now = 0.0;
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        double gap = cb.nextGap();
+        STRETCH_ASSERT(gap >= 0.0, "negative interarrival gap");
+        double t = now + gap;
+        double demand = cb.nextDemand();
+        STRETCH_ASSERT(demand >= 0.0, "negative demand");
+
+        // Replay the simulated past before the new arrival acts on it.
+        drainUntil(t, cb);
+        now = t;
+
+        std::size_t s = cb.place(now, demand);
+        STRETCH_ASSERT(s < srv.size(), "placement selected no server");
+        double start = std::max(now, srv[s].freeAtMs);
+        double finish = cb.finish(s, start, demand);
+        STRETCH_ASSERT(finish >= start, "finish before start");
+        srv[s].freeAtMs = finish;
+        srv[s].busyMs += finish - start;
+        ++srv[s].placed;
+        elapsed = std::max(elapsed, finish);
+        pending.push({finish, i, s, now, start});
+    }
+    drainUntil(elapsed, cb);
+}
+
+} // namespace stretch::queueing

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Reusable discrete-event multi-server queueing engine.
+ *
+ * One simulation core drives both request-level layers of the project:
+ * `queueing::simulateService` (one service, FCFS worker pool) and
+ * `sim::dispatchRequests` (a fleet of cores behind a placement policy).
+ * The engine owns the arrival loop, per-server FCFS queues (represented
+ * by their drain times), and an event list that delivers completions and
+ * control-quantum boundaries in simulated-time order, so controllers that
+ * react at quantum boundaries (e.g. dynamic Stretch mode control) only
+ * ever see telemetry from the simulated past.
+ *
+ * Callers supply the stochastic pieces (interarrival gaps, service
+ * demands), the placement decision, and the demand-to-finish-time model
+ * (service rate scaling, duty-cycle modulation) as callbacks; everything
+ * is single-threaded and fully determined by the callbacks' RNG streams.
+ */
+
+#ifndef STRETCH_QUEUEING_EVENT_ENGINE_H
+#define STRETCH_QUEUEING_EVENT_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace stretch::queueing
+{
+
+/** State of one FCFS server (a core or a worker thread). */
+struct ServerState
+{
+    double freeAtMs = 0.0;   ///< time the server's queue drains
+    double busyMs = 0.0;     ///< cumulative occupied time
+    std::uint64_t placed = 0; ///< requests routed to this server
+};
+
+/** One finished request, delivered in finish-time order. */
+struct Completion
+{
+    std::uint64_t index = 0;  ///< arrival sequence number
+    std::size_t server = 0;   ///< server that executed the request
+    double arrivalMs = 0.0;
+    double startMs = 0.0;
+    double finishMs = 0.0;
+
+    /** Request sojourn time (queueing wait + service). */
+    double latencyMs() const { return finishMs - arrivalMs; }
+};
+
+/**
+ * Event-driven open-loop simulation over a fixed set of FCFS servers.
+ *
+ * The run loop generates `requests` arrivals; for each it draws the gap
+ * and the demand, replays every pending completion and quantum boundary
+ * up to the arrival instant (completions first on ties, both in time
+ * order), places the request, and books it on the chosen server.
+ *
+ * Booking is placement-time: a request's finish time is fixed when it is
+ * placed, using the service model in force at its arrival. A later
+ * chargeCapacity call or rate change therefore affects requests placed
+ * afterwards, not work already sitting in a queue — a deliberate
+ * approximation that keeps the engine a pure arrival-driven loop.
+ *
+ * run() resets all server and event state, so one engine instance can be
+ * reused for independent simulations.
+ */
+class EventEngine
+{
+  public:
+    /** The caller-supplied model. nextGap/nextDemand/place/finish are
+     *  required; the rest are optional. */
+    struct Callbacks
+    {
+        /** Next interarrival gap in milliseconds. */
+        std::function<double()> nextGap;
+        /** Raw service demand of the next request (drawn after the gap,
+         *  before placement, so every policy sees one request stream). */
+        std::function<double()> nextDemand;
+        /** Choose the serving server for a request arriving at @p now. */
+        std::function<std::size_t(double now, double demand)> place;
+        /** Completion time of @p demand starting at @p start on @p server
+         *  (applies service rates and/or duty-cycle modulation). */
+        std::function<double(std::size_t server, double start, double demand)>
+            finish;
+        /** Invoked for every finished request, in finish-time order. */
+        std::function<void(const Completion &)> onComplete;
+        /** Invoked at every elapsed multiple of quantumMs (mode control). */
+        std::function<void(double boundaryMs)> onQuantum;
+        /** Control-quantum length; 0 disables onQuantum entirely. */
+        double quantumMs = 0.0;
+    };
+
+    explicit EventEngine(std::size_t servers);
+
+    /** Generate and serve @p requests arrivals, then drain all events. */
+    void run(std::uint64_t requests, const Callbacks &cb);
+
+    /** Per-server states (valid during callbacks and after run()). */
+    const std::vector<ServerState> &servers() const { return srv; }
+
+    /** Number of servers. */
+    std::size_t serverCount() const { return srv.size(); }
+
+    /** Server whose queue drains earliest (ties to the lowest index);
+     *  placing every request here reproduces a central FCFS queue over
+     *  the whole pool. */
+    std::size_t leastFreeServer() const;
+
+    /** Pending work (ms) queued on server @p s at time @p now. */
+    double backlogMs(std::size_t s, double now) const;
+
+    /**
+     * Consume @p ms of server @p s's capacity starting no earlier than
+     * @p now — e.g. a mode-change pipeline flush charged against service
+     * capacity. Requests booked after the charge drain correspondingly
+     * later; requests already booked keep their finish times (see the
+     * class note on placement-time booking).
+     */
+    void chargeCapacity(std::size_t s, double now, double ms);
+
+    /** Latest completion time seen so far (the makespan after run()). */
+    double elapsedMs() const { return elapsed; }
+
+  private:
+    struct Pending
+    {
+        double finishMs;
+        std::uint64_t index;
+        std::size_t server;
+        double arrivalMs;
+        double startMs;
+    };
+
+    /** Min-heap order on (finish time, arrival index). */
+    struct LaterFinish
+    {
+        bool
+        operator()(const Pending &a, const Pending &b) const
+        {
+            if (a.finishMs != b.finishMs)
+                return a.finishMs > b.finishMs;
+            return a.index > b.index;
+        }
+    };
+
+    /** Deliver completions and quantum boundaries with time <= t. */
+    void drainUntil(double t, const Callbacks &cb);
+
+    std::vector<ServerState> srv;
+    std::priority_queue<Pending, std::vector<Pending>, LaterFinish> pending;
+    double elapsed = 0.0;
+    double nextBoundary = 0.0;
+};
+
+} // namespace stretch::queueing
+
+#endif // STRETCH_QUEUEING_EVENT_ENGINE_H

@@ -1,11 +1,9 @@
 #include "queueing/request_sim.h"
 
-#include <algorithm>
 #include <cmath>
-#include <queue>
-#include <vector>
 
 #include "queueing/arrivals.h"
+#include "queueing/event_engine.h"
 #include "util/histogram.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -33,35 +31,32 @@ simulateService(const ServiceSpec &spec, double rate_per_ms,
     STRETCH_ASSERT(knobs.perfScale >= 1.0, "perfScale < 1 is a speedup");
 
     Rng rng(knobs.seed, 0x9e37);
-    MmppArrivals arrivals(rate_per_ms, spec.burstRatio, spec.dwellLowMs,
-                          spec.dwellHighMs);
+    ArrivalProcess arrivals = ArrivalProcess::mmpp(
+        rate_per_ms, spec.burstRatio, spec.dwellLowMs, spec.dwellHighMs);
     DutyCycleModulator modulator(knobs.duty, knobs.quantumMs);
 
     // Lognormal demand with the requested mean: mu = ln(mean) - sigma^2/2.
     double mu = std::log(spec.meanServiceMs) -
                 spec.logSigma * spec.logSigma / 2.0;
 
-    // Worker pool as a min-heap of free times.
-    std::priority_queue<double, std::vector<double>, std::greater<>> workers;
-    for (unsigned w = 0; w < spec.workers; ++w)
-        workers.push(0.0);
-
+    // The worker pool is a central FCFS queue: every request goes to the
+    // worker that frees up first.
     Histogram hist(1e-3);
-    double clock = 0.0;
-    std::uint64_t total = knobs.warmup + knobs.requests;
-    for (std::uint64_t i = 0; i < total; ++i) {
-        clock += arrivals.next(rng);
-        double demand = rng.lognormal(mu, spec.logSigma) * knobs.perfScale;
-
-        double free_at = workers.top();
-        workers.pop();
-        double start = std::max(clock, free_at);
-        double finish = modulator.finish(start, demand);
-        workers.push(finish);
-
-        if (i >= knobs.warmup)
-            hist.record(finish - clock);
-    }
+    EventEngine engine(spec.workers);
+    EventEngine::Callbacks cb;
+    cb.nextGap = [&] { return arrivals.next(rng); };
+    cb.nextDemand = [&] {
+        return rng.lognormal(mu, spec.logSigma) * knobs.perfScale;
+    };
+    cb.place = [&](double, double) { return engine.leastFreeServer(); };
+    cb.finish = [&](std::size_t, double start, double demand) {
+        return modulator.finish(start, demand);
+    };
+    cb.onComplete = [&](const Completion &c) {
+        if (c.index >= knobs.warmup)
+            hist.record(c.latencyMs());
+    };
+    engine.run(knobs.warmup + knobs.requests, cb);
 
     LatencyResult r;
     r.count = hist.count();

@@ -1,8 +1,12 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <memory>
 
+#include "queueing/arrivals.h"
+#include "queueing/event_engine.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -14,16 +18,41 @@ namespace stretch::sim
 namespace
 {
 
-/** Dispatcher RNG stream tags (decorrelate arrival gaps from demands). */
+/** Dispatcher RNG stream tags (decorrelate arrivals, demands, and the
+ *  power-of-two candidate draws from one another). */
 constexpr std::uint64_t arrivalStream = 0xa221;
 constexpr std::uint64_t demandStream = 0xde3a;
+constexpr std::uint64_t placementStream = 0x9b1c;
 
-/** Pending work (ms) queued on a core at time @p now. */
-double
-backlogMs(double free_at, double now)
+/**
+ * The software side of one dynamically-controlled fleet core: a minimal
+ * machine hosting the architectural mode register, so engaging a mode
+ * programs real partition limit registers and performs the mode-change
+ * flush exactly as system software would, plus the CPI²-style monitor fed
+ * by request completion latencies.
+ */
+struct CoreControl
 {
-    return std::max(0.0, free_at - now);
-}
+    MemoryHierarchy mem;
+    BranchUnit bp;
+    SmtCore core;
+    StretchController ctrl;
+    Cpi2Monitor monitor;
+
+    explicit CoreControl(const ModeControlConfig &mc)
+        : mem([] {
+              // The control machine never executes instructions; keep its
+              // uncore allocation tiny.
+              HierarchyConfig hcfg;
+              hcfg.llcBytes = 64 * 1024;
+              hcfg.llcWayPartition = {8, 8};
+              return hcfg;
+          }()),
+          bp(BranchUnitConfig{}), core(CoreParams{}, mem, bp),
+          ctrl(core, 0, mc.bmodeSkew, mc.qmodeSkew), monitor(mc.monitor)
+    {
+    }
+};
 
 } // namespace
 
@@ -35,10 +64,35 @@ toString(PlacementPolicy policy)
         return "round-robin";
       case PlacementPolicy::LeastLoaded:
         return "least-loaded";
+      case PlacementPolicy::PowerOfTwo:
+        return "power-of-two";
       case PlacementPolicy::QosAware:
         return "qos-aware";
     }
     return "?";
+}
+
+const char *
+toString(ModePolicyKind kind)
+{
+    switch (kind) {
+      case ModePolicyKind::Static:
+        return "static";
+      case ModePolicyKind::BacklogHysteresis:
+        return "backlog-hysteresis";
+      case ModePolicyKind::SlackDriven:
+        return "slack-driven";
+    }
+    return "?";
+}
+
+std::uint64_t
+DispatchOutcome::totalTransitions() const
+{
+    std::uint64_t total = 0;
+    for (const CoreModeStats &m : modeStats)
+        total += m.transitions;
+    return total;
 }
 
 FleetConfig
@@ -57,107 +111,255 @@ homogeneousFleet(unsigned n, const RunConfig &base)
 }
 
 DispatchOutcome
-dispatchRequests(const std::vector<double> &serviceRatePerMs,
-                 PlacementPolicy policy, std::uint64_t requests,
-                 double arrivalRatePerMs, std::uint64_t seed)
+dispatchRequests(const DispatchConfig &cfg)
 {
-    const std::size_t n = serviceRatePerMs.size();
+    const std::size_t n = cfg.rates.size();
     STRETCH_ASSERT(n > 0, "dispatch needs at least one core");
+    STRETCH_ASSERT(cfg.burstRatio >= 1.0, "burst ratio must be >= 1");
+    STRETCH_ASSERT(cfg.demandLogSigma >= 0.0, "negative demand sigma");
+
+    const ModeControlConfig &mc = cfg.control;
+    const bool dynamic = mc.kind != ModePolicyKind::Static;
+    if (mc.kind == ModePolicyKind::BacklogHysteresis) {
+        STRETCH_ASSERT(mc.engageBelowMs < mc.disengageAboveMs &&
+                           mc.disengageAboveMs < mc.qmodeAboveMs,
+                       "backlog thresholds must be ordered engage < "
+                       "disengage < qmode");
+    }
 
     double capacity = 0.0;
-    std::size_t serving = 0;
-    for (double rate : serviceRatePerMs) {
-        STRETCH_ASSERT(rate >= 0.0, "negative service rate");
-        capacity += rate;
-        if (rate > 0.0)
-            ++serving;
+    std::vector<std::size_t> servingIdx;
+    for (std::size_t c = 0; c < n; ++c) {
+        const ModeRates &r = cfg.rates[c];
+        STRETCH_ASSERT(r.baseline >= 0.0 && r.bmode >= 0.0 && r.qmode >= 0.0,
+                       "negative service rate");
+        if (r.baseline > 0.0) {
+            STRETCH_ASSERT(r.bmode > 0.0 && r.qmode > 0.0,
+                           "serving cores need a positive rate in every "
+                           "mode");
+            capacity += r.baseline;
+            servingIdx.push_back(c);
+        }
     }
-    STRETCH_ASSERT(serving > 0, "no core in the fleet can serve requests");
+    STRETCH_ASSERT(!servingIdx.empty(), "no core in the fleet can serve "
+                                        "requests");
+
+    // Mode state: serving cores start in the static mode (Baseline when a
+    // dynamic policy takes over from there).
+    const StretchMode initialMode =
+        dynamic ? StretchMode::Baseline : mc.staticMode;
+    std::vector<StretchMode> mode(n, StretchMode::Baseline);
+    std::vector<double> rate(n, 0.0);
+    for (std::size_t c : servingIdx) {
+        mode[c] = initialMode;
+        rate[c] = cfg.rates[c].rate(initialMode);
+    }
 
     DispatchOutcome out;
     out.placed.assign(n, 0);
     out.busyMs.assign(n, 0.0);
+    out.modeStats.assign(n, CoreModeStats{});
+    for (std::size_t c = 0; c < n; ++c)
+        out.modeStats[c].finalMode = mode[c];
     out.offeredRatePerMs =
-        arrivalRatePerMs > 0.0 ? arrivalRatePerMs : 0.7 * capacity;
-    if (requests == 0)
+        cfg.arrivalRatePerMs > 0.0 ? cfg.arrivalRatePerMs : 0.7 * capacity;
+    if (cfg.requests == 0)
         return out;
 
-    Rng arrivals(seed, arrivalStream);
-    Rng demands(seed, demandStream);
+    Rng arrivalsRng(cfg.seed, arrivalStream);
+    Rng demandsRng(cfg.seed, demandStream);
+    Rng placementRng(cfg.seed, placementStream);
+    queueing::ArrivalProcess arrivals =
+        cfg.burstRatio > 1.0
+            ? queueing::ArrivalProcess::mmpp(out.offeredRatePerMs,
+                                             cfg.burstRatio, cfg.dwellLowMs,
+                                             cfg.dwellHighMs)
+            : queueing::ArrivalProcess::poisson(out.offeredRatePerMs);
+    // Unit-mean demand in "mean-request units": the serving core's rate
+    // converts it to milliseconds, so a fast core finishes the same
+    // request sooner.
+    const double demandMu =
+        -cfg.demandLogSigma * cfg.demandLogSigma / 2.0;
 
-    // Each core is a FIFO server; freeAt holds the time its queue drains.
-    std::vector<double> free_at(n, 0.0);
+    // Controllers exist only under dynamic policies; Static runs carry no
+    // machine state, just the residency clock.
+    std::vector<std::unique_ptr<CoreControl>> controls(n);
+    if (dynamic) {
+        for (std::size_t c : servingIdx)
+            controls[c] = std::make_unique<CoreControl>(mc);
+    }
+    std::vector<double> segStartMs(n, 0.0);
+
+    queueing::EventEngine engine(n);
     std::vector<double> latencies;
-    latencies.reserve(requests);
-
-    double now = 0.0;
+    latencies.reserve(cfg.requests);
     std::size_t rr_next = 0; // round-robin cursor over serving cores
-    const double mean_gap = 1.0 / out.offeredRatePerMs;
 
-    for (std::uint64_t i = 0; i < requests; ++i) {
-        now += arrivals.exponential(mean_gap);
-        // Demand in "mean-request units": the serving core's rate converts
-        // it to milliseconds, so a fast core finishes the same request
-        // sooner. Drawn before placement so every policy sees the same
-        // request stream.
-        double demand = demands.exponential(1.0);
-
-        std::size_t target = n;
-        switch (policy) {
-          case PlacementPolicy::RoundRobin:
-            while (serviceRatePerMs[rr_next % n] <= 0.0)
+    queueing::EventEngine::Callbacks cb;
+    cb.nextGap = [&] { return arrivals.next(arrivalsRng); };
+    cb.nextDemand = [&] {
+        return cfg.demandLogSigma > 0.0
+                   ? demandsRng.lognormal(demandMu, cfg.demandLogSigma)
+                   : demandsRng.exponential(1.0);
+    };
+    cb.place = [&](double now, double demand) -> std::size_t {
+        switch (cfg.policy) {
+          case PlacementPolicy::RoundRobin: {
+            while (cfg.rates[rr_next % n].baseline <= 0.0)
                 ++rr_next;
-            target = rr_next % n;
+            std::size_t target = rr_next % n;
             ++rr_next;
-            break;
+            return target;
+          }
           case PlacementPolicy::LeastLoaded: {
+            std::size_t target = n;
             double best = std::numeric_limits<double>::infinity();
-            for (std::size_t c = 0; c < n; ++c) {
-                if (serviceRatePerMs[c] <= 0.0)
-                    continue;
-                double b = backlogMs(free_at[c], now);
+            for (std::size_t c : servingIdx) {
+                double b = engine.backlogMs(c, now);
                 if (b < best) {
                     best = b;
                     target = c;
                 }
             }
-            break;
+            return target;
+          }
+          case PlacementPolicy::PowerOfTwo: {
+            if (servingIdx.size() == 1)
+                return servingIdx.front();
+            // Two distinct uniform candidates; shorter backlog wins,
+            // ties to the lower core id.
+            std::size_t a = static_cast<std::size_t>(
+                placementRng.below(servingIdx.size()));
+            std::size_t b = static_cast<std::size_t>(
+                placementRng.below(servingIdx.size() - 1));
+            if (b >= a)
+                ++b;
+            std::size_t ca = servingIdx[std::min(a, b)];
+            std::size_t cb2 = servingIdx[std::max(a, b)];
+            return engine.backlogMs(cb2, now) < engine.backlogMs(ca, now)
+                       ? cb2
+                       : ca;
           }
           case PlacementPolicy::QosAware: {
             // Predicted sojourn time of THIS request on each core: queue
-            // wait plus its own service time at the core's speed.
+            // wait plus its own service time at the core's current speed.
+            std::size_t target = n;
             double best = std::numeric_limits<double>::infinity();
-            for (std::size_t c = 0; c < n; ++c) {
-                if (serviceRatePerMs[c] <= 0.0)
-                    continue;
-                double predicted = backlogMs(free_at[c], now) +
-                                   demand / serviceRatePerMs[c];
+            for (std::size_t c : servingIdx) {
+                double predicted =
+                    engine.backlogMs(c, now) + demand / rate[c];
                 if (predicted < best) {
                     best = predicted;
                     target = c;
                 }
             }
-            break;
+            return target;
           }
         }
-        STRETCH_ASSERT(target < n, "placement selected no core");
+        return n; // unreachable; engine asserts
+    };
+    cb.finish = [&](std::size_t s, double start, double demand) {
+        return start + demand / rate[s];
+    };
+    cb.onComplete = [&](const queueing::Completion &c) {
+        latencies.push_back(c.latencyMs());
+        if (controls[c.server])
+            controls[c.server]->monitor.recordLatency(c.latencyMs());
+    };
+    if (dynamic) {
+        cb.quantumMs = mc.quantumMs;
+        cb.onQuantum = [&](double t) {
+            for (std::size_t c : servingIdx) {
+                CoreControl &cc = *controls[c];
+                StretchMode next = mode[c];
+                switch (mc.kind) {
+                  case ModePolicyKind::BacklogHysteresis: {
+                    double backlog = engine.backlogMs(c, t);
+                    switch (mode[c]) {
+                      case StretchMode::BatchBoost:
+                        if (backlog > mc.qmodeAboveMs)
+                            next = StretchMode::QosBoost;
+                        else if (backlog > mc.disengageAboveMs)
+                            next = StretchMode::Baseline;
+                        break;
+                      case StretchMode::Baseline:
+                        if (backlog > mc.qmodeAboveMs)
+                            next = StretchMode::QosBoost;
+                        else if (backlog < mc.engageBelowMs)
+                            next = StretchMode::BatchBoost;
+                        break;
+                      case StretchMode::QosBoost:
+                        if (backlog < mc.engageBelowMs)
+                            next = StretchMode::BatchBoost;
+                        else if (backlog < mc.disengageAboveMs)
+                            next = StretchMode::Baseline;
+                        break;
+                    }
+                    break;
+                  }
+                  case ModePolicyKind::SlackDriven:
+                    if (cc.monitor.windowFill() > 0)
+                        next = cc.monitor.evaluateWindowNow().mode;
+                    break;
+                  case ModePolicyKind::Static:
+                    break;
+                }
+                if (next == mode[c])
+                    continue;
+                CoreModeStats &ms = out.modeStats[c];
+                ms.residencyMs[modeIndex(mode[c])] += t - segStartMs[c];
+                segStartMs[c] = t;
+                cc.ctrl.engage(next); // register write + partitions + flush
+                engine.chargeCapacity(c, t, mc.flushCostMs);
+                ms.flushMs += mc.flushCostMs;
+                ++ms.transitions;
+                mode[c] = next;
+                rate[c] = cfg.rates[c].rate(next);
+            }
+        };
+    }
 
-        double service = demand / serviceRatePerMs[target];
-        double start = std::max(now, free_at[target]);
-        double done = start + service;
-        free_at[target] = done;
-        out.busyMs[target] += service;
-        ++out.placed[target];
-        latencies.push_back(done - now);
-        out.elapsedMs = std::max(out.elapsedMs, done);
+    engine.run(cfg.requests, cb);
+
+    // Close out the mode timeline at the makespan.
+    out.elapsedMs = engine.elapsedMs();
+    for (std::size_t c : servingIdx) {
+        CoreModeStats &ms = out.modeStats[c];
+        ms.residencyMs[modeIndex(mode[c])] += out.elapsedMs - segStartMs[c];
+        ms.finalMode = mode[c];
+        if (controls[c]) {
+            STRETCH_ASSERT(controls[c]->ctrl.modeChanges() == ms.transitions,
+                           "mode-register change count diverged from the "
+                           "dispatch timeline");
+        }
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+        out.placed[c] = engine.servers()[c].placed;
+        out.busyMs[c] = engine.servers()[c].busyMs;
     }
 
     out.latencyMs = stats::summarize(latencies);
     out.throughputRps = out.elapsedMs > 0.0
-                            ? static_cast<double>(requests) /
+                            ? static_cast<double>(cfg.requests) /
                                   (out.elapsedMs / 1000.0)
                             : 0.0;
     return out;
+}
+
+DispatchOutcome
+dispatchRequests(const std::vector<double> &serviceRatePerMs,
+                 PlacementPolicy policy, std::uint64_t requests,
+                 double arrivalRatePerMs, std::uint64_t seed)
+{
+    DispatchConfig cfg;
+    cfg.rates.reserve(serviceRatePerMs.size());
+    for (double rate : serviceRatePerMs)
+        cfg.rates.push_back(ModeRates::flat(rate));
+    cfg.policy = policy;
+    cfg.requests = requests;
+    cfg.arrivalRatePerMs = arrivalRatePerMs;
+    cfg.seed = seed;
+    return dispatchRequests(cfg);
 }
 
 FleetResult
@@ -166,20 +368,48 @@ runFleet(const FleetConfig &cfg)
     const std::size_t n = cfg.cores.size();
     STRETCH_ASSERT(n > 0, "fleet needs at least one core");
 
+    const ModeControlConfig &mc = cfg.modeControl;
+    const bool dynamic = mc.kind != ModePolicyKind::Static ||
+                         mc.staticMode != StretchMode::Baseline;
+
     FleetResult fleet;
     fleet.cores.resize(n);
 
-    // Per-core simulations share no mutable state and each core's result
-    // depends only on its own RunConfig, so the pool schedule cannot
-    // change any bit of the index-addressed results.
-    ThreadPool::parallelFor(cfg.threads, n, [&](std::size_t i) {
-        fleet.cores[i] = run(cfg.cores[i]);
-    });
+    // Per-core simulations share no mutable state and each result depends
+    // only on its own derived RunConfig, so the pool schedule cannot
+    // change any bit of the index-addressed results. Under dynamic mode
+    // control every core is measured at all three operating points with
+    // the same seed (the paper's matched-sampling methodology), so the
+    // dispatcher knows the capacity each register write buys.
+    std::vector<RunResult> modeResults;
+    if (dynamic) {
+        modeResults.resize(n * numStretchModes);
+        ThreadPool::parallelFor(
+            cfg.threads, n * numStretchModes, [&](std::size_t task) {
+                std::size_t i = task / numStretchModes;
+                auto m = static_cast<StretchMode>(task % numStretchModes);
+                RunConfig rc = cfg.cores[i];
+                rc.rob = robSetupFor(m, mc.bmodeSkew, mc.qmodeSkew);
+                modeResults[task] = run(rc);
+            });
+        for (std::size_t i = 0; i < n; ++i)
+            fleet.cores[i] =
+                modeResults[i * numStretchModes +
+                            modeIndex(StretchMode::Baseline)];
+    } else {
+        ThreadPool::parallelFor(cfg.threads, n, [&](std::size_t i) {
+            fleet.cores[i] = run(cfg.cores[i]);
+        });
+    }
 
     // Ordered reduction over cores (determinism: fixed iteration order).
     std::vector<double> ls_uipc, batch_uipc;
     fleet.serviceRatePerMs.assign(n, 0.0);
+    fleet.modeRates.assign(n, ModeRates{});
     const double cycles_per_ms = coreFreqGhz * 1e6;
+    auto uipcToRate = [&](double uipc) {
+        return uipc * cycles_per_ms / cfg.opsPerRequest;
+    };
     for (std::size_t i = 0; i < n; ++i) {
         const RunResult &r = fleet.cores[i];
         fleet.totalLsUipc += r.uipc[0];
@@ -189,15 +419,31 @@ runFleet(const FleetConfig &cfg)
             batch_uipc.push_back(r.uipc[1]);
         }
         // LS thread commit rate converted to request service rate.
-        fleet.serviceRatePerMs[i] =
-            r.uipc[0] * cycles_per_ms / cfg.opsPerRequest;
+        fleet.serviceRatePerMs[i] = uipcToRate(r.uipc[0]);
+        if (dynamic) {
+            const RunResult *per_mode = &modeResults[i * numStretchModes];
+            fleet.modeRates[i].baseline = uipcToRate(
+                per_mode[modeIndex(StretchMode::Baseline)].uipc[0]);
+            fleet.modeRates[i].bmode = uipcToRate(
+                per_mode[modeIndex(StretchMode::BatchBoost)].uipc[0]);
+            fleet.modeRates[i].qmode = uipcToRate(
+                per_mode[modeIndex(StretchMode::QosBoost)].uipc[0]);
+        } else {
+            fleet.modeRates[i] = ModeRates::flat(fleet.serviceRatePerMs[i]);
+        }
     }
     fleet.lsUipc = stats::summarize(ls_uipc);
     fleet.batchUipc = stats::summarize(batch_uipc);
 
-    fleet.dispatch =
-        dispatchRequests(fleet.serviceRatePerMs, cfg.policy, cfg.requests,
-                         cfg.arrivalRatePerMs, cfg.seed);
+    DispatchConfig dispatch;
+    dispatch.rates = fleet.modeRates;
+    dispatch.policy = cfg.policy;
+    dispatch.requests = cfg.requests;
+    dispatch.arrivalRatePerMs = cfg.arrivalRatePerMs;
+    dispatch.seed = cfg.seed;
+    dispatch.burstRatio = cfg.burstRatio;
+    dispatch.control = cfg.modeControl;
+    fleet.dispatch = dispatchRequests(dispatch);
     return fleet;
 }
 

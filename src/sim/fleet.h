@@ -1,24 +1,36 @@
 /**
  * @file
- * Fleet layer: many independent Stretch SMT cores serving one request
- * stream.
+ * Fleet layer: many Stretch SMT cores serving one request stream, with a
+ * closed per-core dynamic mode-control loop.
  *
  * The paper evaluates a single dual-threaded core; a datacenter deploys
  * racks of them. The fleet layer instantiates N cores — each a complete
  * RunConfig colocation pair — runs their microarchitectural simulations on
  * a worker pool (each core's seed derives only from (fleet seed, core
  * index), so parallel and serial execution are bit-identical), then
- * dispatches a shared request stream across the cores with a pluggable
- * placement policy and aggregates per-core results into fleet-level QoS
- * and throughput summaries.
+ * dispatches a shared request stream across the cores on the
+ * `queueing::EventEngine` discrete-event substrate with a pluggable
+ * placement policy.
+ *
+ * On top of the shared engine sits the paper's headline *dynamic* Stretch
+ * story: each serving core owns a real `StretchController` (mode register
+ * + partition programming + flush) and a `Cpi2Monitor` fed by
+ * request-level completion latencies, and a pluggable mode policy flips
+ * the mode register at control-quantum boundaries as backlog and slack
+ * change. Mode-change flush costs are charged against service capacity,
+ * and per-core mode residency/transition counts are reported in the
+ * dispatch outcome.
  */
 
 #ifndef STRETCH_SIM_FLEET_H
 #define STRETCH_SIM_FLEET_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "qos/cpi2_monitor.h"
+#include "qos/stretch_controller.h"
 #include "sim/runner.h"
 #include "stats/summary.h"
 
@@ -30,11 +42,179 @@ enum class PlacementPolicy
 {
     RoundRobin,  ///< rotate over serving-capable cores, blind to load
     LeastLoaded, ///< shortest backlog (pending work in ms), ties to lowest id
+    PowerOfTwo,  ///< two random candidates, shorter backlog wins (load-aware
+                 ///< at O(1) cost; Mitzenmacher's power of two choices)
     QosAware,    ///< minimize this request's predicted completion latency
 };
 
 /** Human-readable policy name. */
 const char *toString(PlacementPolicy policy);
+
+/** How a fleet core's Stretch mode is driven during dispatch. */
+enum class ModePolicyKind
+{
+    Static,            ///< hold one mode for the whole run (seed behaviour)
+    BacklogHysteresis, ///< backlog thresholds with a hysteresis band
+    SlackDriven,       ///< Cpi2Monitor tail-latency decision ladder
+};
+
+/** Human-readable mode-policy name. */
+const char *toString(ModePolicyKind kind);
+
+/** Number of Stretch operating points (Baseline, B-mode, Q-mode). */
+inline constexpr std::size_t numStretchModes = 3;
+
+/** Index of a mode in residency/rate arrays. */
+constexpr std::size_t
+modeIndex(StretchMode mode)
+{
+    return static_cast<std::size_t>(mode);
+}
+
+/** A core's latency-sensitive service rate in each mode (requests/ms). */
+struct ModeRates
+{
+    double baseline = 0.0;
+    double bmode = 0.0;
+    double qmode = 0.0;
+
+    /** Rate under the given mode. */
+    double
+    rate(StretchMode mode) const
+    {
+        switch (mode) {
+          case StretchMode::BatchBoost:
+            return bmode;
+          case StretchMode::QosBoost:
+            return qmode;
+          case StretchMode::Baseline:
+          default:
+            return baseline;
+        }
+    }
+
+    /** Uniform rates: a core whose capacity ignores the mode register. */
+    static ModeRates
+    flat(double rate_per_ms)
+    {
+        return {rate_per_ms, rate_per_ms, rate_per_ms};
+    }
+};
+
+/** Per-core dynamic mode-control configuration. */
+struct ModeControlConfig
+{
+    ModePolicyKind kind = ModePolicyKind::Static;
+
+    /** Mode held by every serving core when kind == Static. */
+    StretchMode staticMode = StretchMode::Baseline;
+
+    /** Control quantum: the policy runs at every multiple of this. */
+    double quantumMs = 0.5;
+
+    /** Capacity charged per mode change (pipeline flush + repartition
+     *  drain, Section IV-C). */
+    double flushCostMs = 0.005;
+
+    /// @name BacklogHysteresis thresholds (ms of queued work).
+    /// Engage B-mode only with a near-empty queue, hold it until the
+    /// backlog climbs out of the hysteresis band, and escalate to Q-mode
+    /// under a deep queue. engageBelowMs < disengageAboveMs < qmodeAboveMs.
+    /// @{
+    double engageBelowMs = 0.2;
+    double disengageAboveMs = 1.0;
+    double qmodeAboveMs = 3.0;
+    /// @}
+
+    /** SlackDriven: the Cpi2Monitor decision-ladder knobs. qosTarget is in
+     *  milliseconds of request sojourn time. */
+    MonitorConfig monitor;
+
+    /// @name Design-time skews programmed by the per-core controller.
+    /// @{
+    SkewConfig bmodeSkew{56, 136};
+    SkewConfig qmodeSkew{136, 56};
+    /// @}
+};
+
+/** Mode timeline of one core over a dispatch run. */
+struct CoreModeStats
+{
+    /** Simulated time spent in each mode, indexed by modeIndex(). */
+    std::array<double, numStretchModes> residencyMs{};
+    /** Mode-register writes that changed the mode (each cost a flush). */
+    std::uint64_t transitions = 0;
+    /** Service capacity consumed by mode-change flushes. */
+    double flushMs = 0.0;
+    /** Mode engaged when the run ended. */
+    StretchMode finalMode = StretchMode::Baseline;
+};
+
+/** Full description of a request-dispatch experiment over fixed cores. */
+struct DispatchConfig
+{
+    /** Per-mode service rates per core; a core with baseline == 0 cannot
+     *  serve (e.g. an idle LS thread). */
+    std::vector<ModeRates> rates;
+
+    PlacementPolicy policy = PlacementPolicy::RoundRobin;
+
+    std::uint64_t requests = 20000; ///< length of the dispatched stream
+    /**
+     * Fleet-wide arrival rate (requests per millisecond); 0 selects 70% of
+     * the aggregate baseline service capacity, a moderately-loaded
+     * datacenter operating point.
+     */
+    double arrivalRatePerMs = 0.0;
+    std::uint64_t seed = 42; ///< arrival/demand/placement stream seed
+
+    /// @name Arrival burstiness: 1 = Poisson, > 1 = MMPP-2 bursts.
+    /// @{
+    double burstRatio = 1.0;
+    double dwellLowMs = 200.0;
+    double dwellHighMs = 40.0;
+    /// @}
+
+    /**
+     * Demand dispersion: 0 draws exponential unit-mean demands (the
+     * historical dispatcher model); > 0 draws lognormal unit-mean demands
+     * with this sigma (the ServiceSpec service-time shape).
+     */
+    double demandLogSigma = 0.0;
+
+    ModeControlConfig control;
+};
+
+/** Outcome of dispatching a request stream over the fleet's cores. */
+struct DispatchOutcome
+{
+    std::vector<std::uint64_t> placed; ///< requests placed on each core
+    std::vector<double> busyMs;        ///< per-core busy (serving) time
+    stats::ViolinSummary latencyMs;    ///< request sojourn-time summary
+    double elapsedMs = 0.0;            ///< last completion time
+    double throughputRps = 0.0;        ///< completed requests per second
+    double offeredRatePerMs = 0.0;     ///< arrival rate actually used
+    /** Per-core mode residency/transition timeline, index-matched to the
+     *  cores (all-zero residency for non-serving cores). */
+    std::vector<CoreModeStats> modeStats;
+
+    /** Sum of mode transitions across the fleet. */
+    std::uint64_t totalTransitions() const;
+};
+
+/** Run a dispatch experiment on the discrete-event queueing engine. */
+DispatchOutcome dispatchRequests(const DispatchConfig &cfg);
+
+/**
+ * Compatibility entry point: Poisson arrivals, exponential demands, and a
+ * static Baseline mode on every core (rates are mode-independent).
+ * Exposed separately from runFleet so placement policies are
+ * unit-testable without running microarchitectural simulations.
+ */
+DispatchOutcome dispatchRequests(const std::vector<double> &serviceRatePerMs,
+                                 PlacementPolicy policy,
+                                 std::uint64_t requests,
+                                 double arrivalRatePerMs, std::uint64_t seed);
 
 /** Full description of a fleet experiment. */
 struct FleetConfig
@@ -47,16 +227,22 @@ struct FleetConfig
     /// @name Request-dispatch phase.
     /// @{
     std::uint64_t requests = 20000; ///< length of the dispatched stream
-    /**
-     * Fleet-wide Poisson arrival rate (requests per millisecond);
-     * 0 selects 70% of the measured aggregate service capacity, a
-     * moderately-loaded datacenter operating point.
-     */
+    /** Fleet-wide arrival rate (req/ms); 0 = 70% of measured capacity. */
     double arrivalRatePerMs = 0.0;
     /** Mean latency-sensitive request length in committed instructions. */
     double opsPerRequest = 500000.0;
     std::uint64_t seed = 42; ///< dispatch arrival/demand stream seed
+    /** Arrival burstiness handed to the dispatcher (1 = Poisson). */
+    double burstRatio = 1.0;
     /// @}
+
+    /**
+     * Per-core dynamic Stretch mode control. Any non-Static policy (or a
+     * non-Baseline static mode) makes runFleet measure each core's LS
+     * capacity under all three operating points, so the dispatcher can
+     * retime requests as the mode register flips.
+     */
+    ModeControlConfig modeControl;
 
     /** Pool workers for per-core simulations: 1 = serial, 0 = hardware. */
     unsigned threads = 0;
@@ -68,35 +254,11 @@ struct FleetConfig
  */
 FleetConfig homogeneousFleet(unsigned n, const RunConfig &base);
 
-/** Outcome of dispatching a request stream over fixed core capacities. */
-struct DispatchOutcome
-{
-    std::vector<std::uint64_t> placed; ///< requests placed on each core
-    std::vector<double> busyMs;        ///< per-core busy (serving) time
-    stats::ViolinSummary latencyMs;    ///< request sojourn-time summary
-    double elapsedMs = 0.0;            ///< last completion time
-    double throughputRps = 0.0;        ///< completed requests per second
-    double offeredRatePerMs = 0.0;     ///< arrival rate actually used
-};
-
-/**
- * Dispatch @p requests Poisson arrivals over cores with the given
- * latency-sensitive service rates (requests per millisecond; a rate of 0
- * marks a core that cannot serve, e.g. an idle LS thread). Each core is a
- * FIFO server; request service demand is an exponential draw scaled by the
- * serving core's rate. Fully deterministic in (seed); exposed separately
- * from runFleet so placement policies are unit-testable without running
- * microarchitectural simulations.
- */
-DispatchOutcome dispatchRequests(const std::vector<double> &serviceRatePerMs,
-                                 PlacementPolicy policy,
-                                 std::uint64_t requests,
-                                 double arrivalRatePerMs, std::uint64_t seed);
-
 /** Aggregated outcome of a fleet run. */
 struct FleetResult
 {
-    /** Per-core microarchitectural results, index-matched to the config. */
+    /** Per-core microarchitectural results, index-matched to the config
+     *  (measured in the Baseline operating point under dynamic control). */
     std::vector<RunResult> cores;
 
     /** Request-dispatch outcome across the fleet. */
@@ -114,8 +276,13 @@ struct FleetResult
     stats::ViolinSummary batchUipc;
     /// @}
 
-    /** Per-core LS service capacity handed to the dispatcher (req/ms). */
+    /** Per-core LS service capacity handed to the dispatcher (req/ms);
+     *  the Baseline-mode rate. */
     std::vector<double> serviceRatePerMs;
+
+    /** Per-mode service rates per core (equal across modes when the fleet
+     *  ran without dynamic mode control). */
+    std::vector<ModeRates> modeRates;
 };
 
 /**

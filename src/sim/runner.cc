@@ -53,6 +53,28 @@ quickFactor()
     return g_quickFactor;
 }
 
+RobSetup
+robSetupFor(StretchMode mode, const SkewConfig &bmode, const SkewConfig &qmode)
+{
+    RobSetup setup;
+    switch (mode) {
+      case StretchMode::Baseline:
+        setup.kind = RobConfigKind::EqualPartition;
+        break;
+      case StretchMode::BatchBoost:
+        setup.kind = RobConfigKind::Asymmetric;
+        setup.limit0 = bmode.lsRobEntries;
+        setup.limit1 = bmode.batchRobEntries;
+        break;
+      case StretchMode::QosBoost:
+        setup.kind = RobConfigKind::Asymmetric;
+        setup.limit0 = qmode.lsRobEntries;
+        setup.limit1 = qmode.batchRobEntries;
+        break;
+    }
+    return setup;
+}
+
 double
 RunResult::mlpAtLeast(ThreadId tid, unsigned n) const
 {

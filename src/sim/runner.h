@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/smt_core.h"
+#include "qos/stretch_controller.h"
 #include "util/types.h"
 
 namespace stretch::sim
@@ -119,6 +120,16 @@ struct RunResult
     std::array<std::uint64_t, numSmtThreads> l1iMissCount{0, 0};
     std::array<std::uint64_t, numSmtThreads> llcMissCount{0, 0};
 };
+
+/**
+ * ROB organisation engaged by a Stretch mode on a colocated core:
+ * Baseline is the equal partition, B-/Q-mode the corresponding asymmetric
+ * skew with thread 0 hosting the latency-sensitive workload (the fleet
+ * convention). Used to measure a core's capacity at each operating point
+ * of the dynamic mode-control loop.
+ */
+RobSetup robSetupFor(StretchMode mode, const SkewConfig &bmode = {56, 136},
+                     const SkewConfig &qmode = {136, 56});
 
 /** Execute a configuration (all samples) and aggregate. */
 RunResult run(const RunConfig &cfg);

@@ -58,6 +58,7 @@ summarize(const std::vector<double> &values)
     s.q3 = percentileSorted(sorted, 75.0);
     s.p95 = percentileSorted(sorted, 95.0);
     s.p99 = percentileSorted(sorted, 99.0);
+    s.p999 = percentileSorted(sorted, 99.9);
     double sum = 0.0;
     for (double v : sorted)
         sum += v;

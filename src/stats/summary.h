@@ -70,10 +70,12 @@ struct ViolinSummary
     double q3 = 0.0;
     double max = 0.0;
     double mean = 0.0;
-    /// @name Tail percentiles (fleet QoS reporting: SLOs bind at the tail).
+    /// @name Tail percentiles (fleet QoS reporting: SLOs bind at the tail;
+    /// mirrors queueing::LatencyResult p95/p99/p999).
     /// @{
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
     /// @}
 };
 

@@ -235,6 +235,31 @@ TEST(Monitor, TailUsesConfiguredPercentile)
     EXPECT_GT(d.tailLatency, 100.0);
 }
 
+TEST(Monitor, EvaluateWindowNowUsesPartialWindow)
+{
+    Cpi2Monitor mon(monitorConfig());
+    // Three samples of an eight-request window: still enough for a
+    // quantum-boundary decision.
+    mon.recordLatency(20.0);
+    mon.recordLatency(25.0);
+    mon.recordLatency(30.0);
+    ASSERT_FALSE(mon.windowReady());
+    EXPECT_EQ(mon.windowFill(), 3u);
+    MonitorDecision d = mon.evaluateWindowNow();
+    EXPECT_EQ(d.mode, StretchMode::BatchBoost);
+    EXPECT_EQ(mon.windowFill(), 0u); // window consumed
+}
+
+TEST(Monitor, EvaluateWindowNowEmptyKeepsLastDecision)
+{
+    Cpi2Monitor mon(monitorConfig());
+    feedWindow(mon, 20.0);
+    mon.evaluateWindow(); // B-mode engaged
+    MonitorDecision d = mon.evaluateWindowNow();
+    EXPECT_EQ(d.mode, StretchMode::BatchBoost);
+    EXPECT_EQ(mon.violationWindows(), 0u); // no window was evaluated
+}
+
 TEST(Monitor, CpiOutlierDetection)
 {
     Cpi2Monitor mon(monitorConfig());

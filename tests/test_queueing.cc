@@ -11,6 +11,7 @@
 
 #include "queueing/arrivals.h"
 #include "queueing/diurnal.h"
+#include "queueing/event_engine.h"
 #include "queueing/load_study.h"
 #include "queueing/modulation.h"
 #include "queueing/request_sim.h"
@@ -93,6 +94,122 @@ TEST(Modulator, ShortWorkWithinWindow)
 {
     DutyCycleModulator mod(0.5, 1.0);
     EXPECT_NEAR(mod.finish(0.1, 0.2), 0.3, 1e-12);
+}
+
+TEST(ArrivalProcess, PoissonVariantMatchesRawPoisson)
+{
+    Rng a(11), b(11);
+    PoissonArrivals raw(2.0);
+    ArrivalProcess wrapped = ArrivalProcess::poisson(2.0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(wrapped.next(a), raw.next(b));
+}
+
+TEST(ArrivalProcess, MmppVariantMatchesRawMmpp)
+{
+    Rng a(13), b(13);
+    MmppArrivals raw(1.0, 4.0, 100.0, 20.0);
+    ArrivalProcess wrapped = ArrivalProcess::mmpp(1.0, 4.0, 100.0, 20.0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(wrapped.next(a), raw.next(b));
+}
+
+// ---- The shared discrete-event engine ---------------------------------
+
+/** Fixed-gap, fixed-demand callbacks for exact-arithmetic engine tests. */
+EventEngine::Callbacks
+fixedTraffic(EventEngine &engine, double gap, double demand)
+{
+    EventEngine::Callbacks cb;
+    cb.nextGap = [gap] { return gap; };
+    cb.nextDemand = [demand] { return demand; };
+    cb.place = [&engine](double, double) { return engine.leastFreeServer(); };
+    cb.finish = [](std::size_t, double start, double d) { return start + d; };
+    return cb;
+}
+
+TEST(EventEngine, ConservesRequestsAndDeliversInFinishOrder)
+{
+    Rng rng(5);
+    EventEngine engine(3);
+    EventEngine::Callbacks cb;
+    cb.nextGap = [&] { return rng.exponential(0.4); };
+    cb.nextDemand = [&] { return rng.exponential(1.0); };
+    cb.place = [&](double, double) { return engine.leastFreeServer(); };
+    cb.finish = [](std::size_t, double start, double d) { return start + d; };
+    std::uint64_t completions = 0;
+    double last_finish = 0.0;
+    cb.onComplete = [&](const Completion &c) {
+        ++completions;
+        EXPECT_GE(c.finishMs, last_finish);
+        EXPECT_GE(c.startMs, c.arrivalMs);
+        EXPECT_GE(c.latencyMs(), 0.0);
+        last_finish = c.finishMs;
+    };
+    engine.run(5000, cb);
+
+    EXPECT_EQ(completions, 5000u);
+    std::uint64_t placed = 0;
+    for (const ServerState &s : engine.servers())
+        placed += s.placed;
+    EXPECT_EQ(placed, 5000u);
+    EXPECT_GT(engine.elapsedMs(), 0.0);
+}
+
+TEST(EventEngine, QuantumBoundariesInterleaveWithCompletions)
+{
+    EventEngine engine(1);
+    // One request per ms, each needing 0.4 ms: all events are exact.
+    EventEngine::Callbacks cb = fixedTraffic(engine, 1.0, 0.4);
+    cb.quantumMs = 1.0;
+    std::vector<double> boundaries;
+    double last_completion_before_boundary = 0.0;
+    cb.onQuantum = [&](double t) { boundaries.push_back(t); };
+    cb.onComplete = [&](const Completion &c) {
+        // Every completion at or before a boundary is delivered first.
+        if (!boundaries.empty()) {
+            EXPECT_GE(c.finishMs, boundaries.back());
+        }
+        last_completion_before_boundary = c.finishMs;
+    };
+    engine.run(10, cb);
+
+    // Arrivals at 1..10 ms, finishes at 1.4..10.4: boundaries 1..10 fire.
+    ASSERT_GE(boundaries.size(), 9u);
+    for (std::size_t i = 0; i < boundaries.size(); ++i)
+        EXPECT_DOUBLE_EQ(boundaries[i], static_cast<double>(i + 1));
+}
+
+TEST(EventEngine, BacklogAndLeastFreeTrackQueues)
+{
+    EventEngine engine(2);
+    EventEngine::Callbacks cb = fixedTraffic(engine, 0.0, 3.0);
+    engine.run(3, cb); // t=0: two servers take one request, one queues
+    // Server 0 got requests 0 and 2 (3 + 3 ms), server 1 got request 1.
+    EXPECT_DOUBLE_EQ(engine.backlogMs(0, 0.0), 6.0);
+    EXPECT_DOUBLE_EQ(engine.backlogMs(1, 0.0), 3.0);
+    EXPECT_EQ(engine.leastFreeServer(), 1u);
+    EXPECT_DOUBLE_EQ(engine.backlogMs(1, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(engine.backlogMs(1, 5.0), 0.0); // drained
+}
+
+TEST(EventEngine, ChargeCapacityDelaysTheQueue)
+{
+    EventEngine idle(1);
+    EventEngine::Callbacks cb = fixedTraffic(idle, 1.0, 0.5);
+    double last = 0.0;
+    cb.onComplete = [&](const Completion &c) { last = c.finishMs; };
+    idle.run(5, cb);
+    double unperturbed = last;
+
+    EventEngine charged(1);
+    cb = fixedTraffic(charged, 1.0, 0.5);
+    cb.onComplete = [&](const Completion &c) { last = c.finishMs; };
+    cb.quantumMs = 1.0;
+    // A 0.25 ms capacity charge at every boundary pushes completions out.
+    cb.onQuantum = [&](double t) { charged.chargeCapacity(0, t, 0.25); };
+    charged.run(5, cb);
+    EXPECT_GT(last, unperturbed);
 }
 
 TEST(Modulator, MonotonicInDemand)

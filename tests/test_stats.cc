@@ -78,6 +78,20 @@ TEST(Summarize, Quartiles)
     EXPECT_NEAR(s.mean, 51.0, 1e-12);
 }
 
+TEST(Summarize, TailPercentilesOrdered)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 1000; ++i)
+        v.push_back(i);
+    ViolinSummary s = summarize(v);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.p999);
+    EXPECT_LE(s.p999, s.max);
+    // Type-7 rank for p99.9 over 1..1000: 1 + 0.999 * 999 = 999.001.
+    EXPECT_NEAR(s.p999, 999.001, 1e-9);
+    EXPECT_NEAR(s.p95, 950.05, 1e-9);
+}
+
 TEST(Summarize, Empty)
 {
     ViolinSummary s = summarize({});
