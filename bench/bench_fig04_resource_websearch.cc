@@ -82,8 +82,15 @@ main(int argc, char **argv)
     const std::vector<Resource> resources = {Resource::Rob, Resource::L1i,
                                              Resource::L1d, Resource::Bp};
 
-    std::size_t total = workloads::batchNames().size() * resources.size();
-    std::size_t done = 0;
+    // Simulate every colocation and isolated baseline on the worker pool.
+    std::vector<sim::RunConfig> plan;
+    plan.push_back(isolatedConfig("web_search", opt));
+    for (const auto &batch : workloads::batchNames()) {
+        plan.push_back(isolatedConfig(batch, opt));
+        for (Resource r : resources)
+            plan.push_back(configFor(r, opt, "web_search", batch));
+    }
+    warmCache(plan, "fig04");
 
     stats::Table table("Figure 4: per-resource sharing slowdown, Web "
                        "Search x batch");
@@ -107,7 +114,6 @@ main(int argc, char **argv)
                 cachedRun(configFor(r, opt, "web_search", batch));
             ws_cells.push_back(1.0 - res.uipc[0] / iso_ws);
             b_cells.push_back(1.0 - res.uipc[1] / iso_b);
-            progress("fig04", ++done, total);
         }
         for (double v : ws_cells)
             row.push_back(stats::Table::pct(v));

@@ -36,10 +36,24 @@ main(int argc, char **argv)
         {"BTB+BP", false, false, true, sim::RobConfigKind::PrivateFull},
     };
 
-    std::size_t pairs = workloads::latencySensitiveNames().size() *
-                        workloads::batchNames().size();
-    std::size_t total = pairs * modes.size();
-    std::size_t done = 0;
+    // Simulate every (LS, resource, batch) colocation and every isolated
+    // baseline on the worker pool.
+    std::vector<sim::RunConfig> plan;
+    forEachPair([&](const std::string &ls, const std::string &batch) {
+        for (const auto &mode : modes) {
+            sim::RunConfig cfg = baseConfig(opt);
+            cfg.workload0 = ls;
+            cfg.workload1 = batch;
+            cfg.shareL1i = mode.share_l1i;
+            cfg.shareL1d = mode.share_l1d;
+            cfg.shareBp = mode.share_bp;
+            cfg.rob.kind = mode.rob;
+            plan.push_back(cfg);
+        }
+        plan.push_back(isolatedConfig(ls, opt));
+        plan.push_back(isolatedConfig(batch, opt));
+    });
+    warmCache(plan, "fig05");
 
     stats::Table table("Figure 5: average slowdown by shared resource");
     table.setHeader({"LS service", "resource", "LS avg", "LS max",
@@ -72,7 +86,6 @@ main(int argc, char **argv)
                     worst = lsv;
                     worst_name = batch;
                 }
-                progress("fig05", ++done, total);
             }
             table.addRow({ls, mode.label, stats::Table::pct(ls_slow.mean()),
                           stats::Table::pct(ls_slow.max()),

@@ -31,9 +31,21 @@ main(int argc, char **argv)
     std::vector<std::string> tracked = workloads::latencySensitiveNames();
     tracked.push_back("zeusmp");
 
-    std::size_t total = (tracked.size() + workloads::batchNames().size()) *
-                        sizes.size();
-    std::size_t done = 0;
+    // Simulate every (workload, ROB size) point on the worker pool.
+    auto robConfig = [&](const std::string &name, unsigned rob) {
+        sim::RunConfig cfg = baseConfig(opt);
+        cfg.workload0 = name;
+        cfg.isolatedRobOverride = rob;
+        return cfg;
+    };
+    std::vector<sim::RunConfig> plan;
+    for (const auto &name : tracked)
+        for (unsigned s : sizes)
+            plan.push_back(robConfig(name, s));
+    for (const auto &batch : workloads::batchNames())
+        for (unsigned s : sizes)
+            plan.push_back(robConfig(batch, s));
+    warmCache(plan, "fig06");
 
     stats::Table table("Figure 6: slowdown vs ROB size (isolated, "
                        "normalised to 192 entries)");
@@ -45,12 +57,7 @@ main(int argc, char **argv)
 
     // Collect UIPC per size for every workload we need.
     auto uipcAt = [&](const std::string &name, unsigned rob) {
-        sim::RunConfig cfg = baseConfig(opt);
-        cfg.workload0 = name;
-        cfg.isolatedRobOverride = rob;
-        const sim::RunResult &r = cachedRun(cfg);
-        progress("fig06", ++done, total);
-        return r.uipc[0];
+        return cachedRun(robConfig(name, rob)).uipc[0];
     };
 
     std::vector<std::vector<double>> tracked_uipc(tracked.size());
@@ -60,8 +67,6 @@ main(int argc, char **argv)
             tracked_uipc[i].push_back(uipcAt(tracked[i], s));
     }
     for (const auto &batch : workloads::batchNames()) {
-        if (batch == "zeusmp")
-            done += 0; // zeusmp already measured but keep the loop simple
         std::vector<double> u;
         for (unsigned s : sizes)
             u.push_back(uipcAt(batch, s));

@@ -33,27 +33,37 @@ struct ModeEffects
     double batchGain = 0.0;   ///< batch speedup of B-mode vs equal partition
 };
 
+sim::RunConfig
+pairConfig(const std::string &ls, const std::string &batch,
+           const Options &opt, bool bmode)
+{
+    sim::RunConfig cfg = baseConfig(opt);
+    cfg.workload0 = ls;
+    cfg.workload1 = batch;
+    if (bmode) {
+        cfg.rob.kind = sim::RobConfigKind::Asymmetric;
+        cfg.rob.limit0 = 56;
+        cfg.rob.limit1 = 136;
+    } else {
+        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
+    }
+    return cfg;
+}
+
 ModeEffects
-measureEffects(const std::string &ls, const Options &opt, std::size_t &done,
-               std::size_t total)
+measureEffects(const std::string &ls, const Options &opt)
 {
     ModeEffects e;
     double iso = isolatedRun(ls, opt).uipc[0];
     double n = static_cast<double>(workloads::batchNames().size());
     for (const auto &batch : workloads::batchNames()) {
-        sim::RunConfig cfg = baseConfig(opt);
-        cfg.workload0 = ls;
-        cfg.workload1 = batch;
-        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
-        const sim::RunResult &base = cachedRun(cfg);
-        cfg.rob.kind = sim::RobConfigKind::Asymmetric;
-        cfg.rob.limit0 = 56;
-        cfg.rob.limit1 = 136;
-        const sim::RunResult &bmode = cachedRun(cfg);
+        const sim::RunResult &base =
+            cachedRun(pairConfig(ls, batch, opt, false));
+        const sim::RunResult &bmode =
+            cachedRun(pairConfig(ls, batch, opt, true));
         e.lsSlowBase += (1.0 - base.uipc[0] / iso) / n;
         e.lsSlowBmode += (1.0 - bmode.uipc[0] / iso) / n;
         e.batchGain += (bmode.uipc[1] / base.uipc[1] - 1.0) / n;
-        progress("fig14", ++done, total);
     }
     return e;
 }
@@ -138,13 +148,21 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
-    std::size_t total = 2 * workloads::batchNames().size();
-    std::size_t done = 0;
+    // Simulate every colocation and isolated baseline on the worker pool.
+    std::vector<sim::RunConfig> plan;
+    for (const char *ls : {"web_search", "media_streaming"}) {
+        plan.push_back(isolatedConfig(ls, opt));
+        for (const auto &batch : workloads::batchNames()) {
+            plan.push_back(pairConfig(ls, batch, opt, false));
+            plan.push_back(pairConfig(ls, batch, opt, true));
+        }
+    }
+    warmCache(plan, "fig14");
 
     // Web Search cluster; YouTube cluster modeled by the Media Streaming
     // service (video chunk delivery).
-    ModeEffects ws_fx = measureEffects("web_search", opt, done, total);
-    ModeEffects yt_fx = measureEffects("media_streaming", opt, done, total);
+    ModeEffects ws_fx = measureEffects("web_search", opt);
+    ModeEffects yt_fx = measureEffects("media_streaming", opt);
 
     DayResult ws_day = simulateDay(DiurnalTrace::webSearchCluster(),
                                    serviceSpec("web_search"), ws_fx, opt);

@@ -1,21 +1,23 @@
 /**
  * @file
- * A day in a datacenter: a Web Search cluster follows its diurnal load
- * curve; the CPI2-style monitor watches tail latency and drives the
- * Stretch mode register; the batch co-runners bank throughput whenever
- * B-mode is engaged. Prints an hour-by-hour timeline.
+ * A day in a datacenter, end to end: a heterogeneous fleet (big 192-entry
+ * and little 128-entry ROB cores, each a real colocation pair) serves a
+ * 24-hour DiurnalTrace replayed as a time-compressed arrival process.
+ * Each core's CPI²-style monitor watches per-request sojourn times and
+ * walks the Stretch ladder — B-mode when slack is ample, Q-mode as the
+ * tail closes in, and co-runner throttling when violations persist — and
+ * the dispatcher acts on every decision, including suppressing the batch
+ * thread. Prints an hour-by-hour timeline plus per-core mode and throttle
+ * residency.
  *
  * Usage: datacenter_day [websearch|youtube]
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
-#include "qos/cpi2_monitor.h"
 #include "queueing/diurnal.h"
-#include "queueing/request_sim.h"
-#include "sim/runner.h"
+#include "sim/fleet.h"
 
 using namespace stretch;
 using namespace stretch::queueing;
@@ -26,99 +28,117 @@ main(int argc, char **argv)
     bool youtube = argc > 1 && std::strcmp(argv[1], "youtube") == 0;
     DiurnalTrace trace = youtube ? DiurnalTrace::youtubeCluster()
                                  : DiurnalTrace::webSearchCluster();
-    const ServiceSpec &spec =
-        serviceSpec(youtube ? "media_streaming" : "web_search");
     std::string ls_workload = youtube ? "media_streaming" : "web_search";
 
-    // Measure the microarchitectural operating points once: baseline SMT
-    // colocation vs B-mode 56-136, averaged over a small co-runner set.
-    std::printf("Measuring core-level operating points for %s...\n",
+    // A heterogeneous rack slice: two big cores colocating the service
+    // with mcf, two little cores (smaller ROB/LSQ, proportionally scaled
+    // mode skews) colocating it with zeusmp.
+    sim::RunConfig base;
+    base.workload0 = ls_workload;
+    base.workload1 = "mcf";
+    base.samples = 2;
+    base.warmupOps = 3000;
+    base.measureOps = 8000;
+
+    std::vector<sim::CoreSlot> slots(4);
+    slots[2].robEntries = slots[3].robEntries = 128;
+    slots[2].lsqEntries = slots[3].lsqEntries = 48;
+    slots[2].bmodeSkew = slots[3].bmodeSkew = SkewConfig{40, 88};
+    slots[2].qmodeSkew = slots[3].qmodeSkew = SkewConfig{88, 40};
+
+    sim::FleetConfig fleet = sim::heterogeneousFleet(base, slots);
+    fleet.cores[2].workload1 = "zeusmp";
+    fleet.cores[3].workload1 = "zeusmp";
+    fleet.policy = sim::PlacementPolicy::QosAware;
+    fleet.threads = 0; // one pool worker per hardware thread
+
+    std::printf("Measuring the heterogeneous fleet at its operating "
+                "points (%s)...\n",
                 ls_workload.c_str());
-    const char *corunners[] = {"zeusmp", "mcf", "gamess", "gobmk"};
-    double ls_slow_base = 0, ls_slow_bmode = 0, batch_gain = 0;
-    sim::RunConfig cfg;
-    cfg.samples = 2;
-    cfg.measureOps = 16000;
-    double iso = sim::runIsolated(ls_workload, cfg).uipc[0];
-    for (const char *b : corunners) {
-        cfg.workload0 = ls_workload;
-        cfg.workload1 = b;
-        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
-        sim::RunResult base = sim::run(cfg);
-        cfg.rob.kind = sim::RobConfigKind::Asymmetric;
-        cfg.rob.limit0 = 56;
-        cfg.rob.limit1 = 136;
-        sim::RunResult bm = sim::run(cfg);
-        ls_slow_base += (1 - base.uipc[0] / iso) / 4;
-        ls_slow_bmode += (1 - bm.uipc[0] / iso) / 4;
-        batch_gain += (bm.uipc[1] / base.uipc[1] - 1) / 4;
-    }
-    std::printf("  LS slowdown: %.1f%% (baseline SMT) -> %.1f%% (B-mode); "
-                "batch gain %.1f%%\n\n",
-                ls_slow_base * 100, ls_slow_bmode * 100, batch_gain * 100);
 
-    // Calibrate the peak arrival rate under baseline colocation.
-    double scale_base = 1.0 / (1.0 - ls_slow_base);
-    double scale_bmode = 1.0 / (1.0 - ls_slow_bmode);
-    SimKnobs knobs;
-    knobs.requests = 12000;
-    double hi = spec.workers / spec.meanServiceMs / scale_base, lo = hi / 64;
-    for (int i = 0; i < 12; ++i) {
-        double mid = (lo + hi) / 2;
-        SimKnobs k = knobs;
-        k.perfScale = scale_base;
-        (simulateService(spec, mid, k).tail(spec.tailPercentile) <=
-                 0.93 * spec.qosTargetMs
-             ? lo
-             : hi) = mid;
-    }
-    double peak = lo;
+    // Calibration pass: static baseline gives the fleet's capacity and a
+    // latency scale for the QoS target.
+    sim::FleetConfig probe = fleet;
+    probe.requests = 6000;
+    sim::FleetResult flat = sim::runFleet(probe);
+    double capacity = 0.0;
+    for (double r : flat.serviceRatePerMs)
+        capacity += r;
 
-    MonitorConfig mc;
-    mc.qosTarget = spec.qosTargetMs;
-    mc.tailPercentile = spec.tailPercentile;
-    mc.engageFraction = 0.80;
-    mc.disengageFraction = 0.92;
-    mc.hasQMode = false;
-    Cpi2Monitor monitor(mc);
+    // Replay a full 24-hour day, time-compressed, with the peak load at
+    // the fleet's baseline capacity: the midday plateau pressures the
+    // monitor into Q-mode and throttling, which together buy the headroom
+    // that keeps the queue from running away.
+    const double ms_per_hour = 60.0;
+    fleet.diurnalTrace = trace;
+    fleet.msPerHour = ms_per_hour;
+    fleet.timelineBucketMs = ms_per_hour; // one bucket per replayed hour
+    fleet.arrivalRatePerMs = capacity;
+    fleet.requests = static_cast<std::uint64_t>(
+        fleet.arrivalRatePerMs * trace.meanLoad() * 24.0 * ms_per_hour);
 
-    std::printf("%s cluster, QoS target %.0f ms @ p%.1f\n\n",
-                trace.name().c_str(), spec.qosTargetMs,
-                spec.tailPercentile);
-    std::printf("%5s %6s %-22s %10s %8s %6s\n", "hour", "load", "", "tail",
-                "target?", "mode");
+    fleet.modeControl.kind = sim::ModePolicyKind::SlackDriven;
+    fleet.modeControl.quantumMs = 0.5;
+    fleet.modeControl.monitor.qosTarget = 4.0 * flat.dispatch.latencyMs.p99;
 
-    double gain_24h = 0, hours_b = 0;
-    std::uint64_t seed = 7;
-    for (double hour = 0; hour < 24.0; hour += 1.0) {
-        double load = trace.loadAt(hour);
-        bool bmode = monitor.current().mode == StretchMode::BatchBoost;
-        SimKnobs k = knobs;
-        k.perfScale = bmode ? scale_bmode : scale_base;
-        k.seed = ++seed;
-        LatencyResult lat =
-            simulateService(spec, std::max(0.05, load) * peak, k);
-        double tail = lat.tail(spec.tailPercentile);
-        monitor.evaluateTail(tail);
-        if (bmode) {
-            hours_b += 1.0;
-            gain_24h += batch_gain / 24.0;
-        }
-        int bars = static_cast<int>(load * 20);
+    sim::FleetResult day = sim::runFleet(fleet);
+    const sim::DispatchOutcome &d = day.dispatch;
+
+    std::printf("\n%s: %llu requests over a compressed 24 h day "
+                "(%.0f ms/hour), peak %.1f req/ms, QoS target %.2f ms\n\n",
+                trace.name().c_str(),
+                static_cast<unsigned long long>(fleet.requests), ms_per_hour,
+                fleet.arrivalRatePerMs,
+                fleet.modeControl.monitor.qosTarget);
+    std::printf("%5s %6s %-22s %8s %9s %9s %10s\n", "hour", "load", "",
+                "reqs", "p50", "p99", "throttled");
+    for (std::size_t b = 0; b < d.timeline.size() && b < 24; ++b) {
+        const sim::TimelineBucket &tb = d.timeline[b];
+        int bars = static_cast<int>(tb.loadFraction * 20.0);
         char gauge[24];
         for (int i = 0; i < 20; ++i)
             gauge[i] = i < bars ? '#' : '.';
         gauge[20] = 0;
-        std::printf("%5.0f %5.0f%% %-22s %8.1fms %8s %6s\n", hour,
-                    load * 100, gauge, tail,
-                    tail <= spec.qosTargetMs ? "ok" : "MISS",
-                    bmode ? "B" : "base");
+        std::printf("%5zu %5.0f%% %-22s %8llu %7.2fms %7.2fms %7.1fms\n", b,
+                    tb.loadFraction * 100.0, gauge,
+                    static_cast<unsigned long long>(tb.completions),
+                    tb.p50Ms, tb.p99Ms, tb.throttledCoreMs);
     }
 
-    std::printf("\nB-mode engaged %.0f of 24 hours; batch throughput gain "
-                "over the day: %+.1f%%\n",
-                hours_b, gain_24h * 100);
-    std::printf("(paper, Section VI-D: ~5%% for a Web Search cluster, "
-                "~11%% for a YouTube cluster)\n");
+    std::printf("\nPer-core mode/throttle residency over the day:\n");
+    for (std::size_t i = 0; i < d.modeStats.size(); ++i) {
+        const sim::CoreModeStats &m = d.modeStats[i];
+        double total = m.residencyMs[0] + m.residencyMs[1] + m.residencyMs[2];
+        if (total <= 0.0)
+            continue;
+        std::printf("  core %zu (%s, %3u-entry ROB): %5.1f%% base, "
+                    "%5.1f%% B, %5.1f%% Q | throttled %5.1f%% "
+                    "(%llu engagements, %llu CPI outliers)\n",
+                    i, fleet.cores[i].workload1.c_str(),
+                    fleet.slots[i].robEntries ? fleet.slots[i].robEntries
+                                              : base.robEntries,
+                    100.0 * m.residencyMs[0] / total,
+                    100.0 * m.residencyMs[1] / total,
+                    100.0 * m.residencyMs[2] / total,
+                    100.0 * m.throttleMs / total,
+                    static_cast<unsigned long long>(m.throttleEngagements),
+                    static_cast<unsigned long long>(m.cpiOutliers));
+    }
+
+    std::printf("\nQoS:   p99 %.2f ms (target %.2f ms), p99.9 %.2f ms\n",
+                d.latencyMs.p99, fleet.modeControl.monitor.qosTarget,
+                d.latencyMs.p999);
+    std::printf("Batch: %.3f UIPC at baseline, %.3f effective after mode "
+                "residency + throttling (%+.1f%%)\n",
+                day.totalBatchUipc, day.effectiveBatchUipc,
+                day.totalBatchUipc > 0.0
+                    ? 100.0 * (day.effectiveBatchUipc / day.totalBatchUipc -
+                               1.0)
+                    : 0.0);
+    std::printf("\nThe monitor engages B-mode in the overnight trough, "
+                "retreats as the daytime\nplateau builds, and throttles "
+                "the co-runner where violations persist — the\nbatch "
+                "column above is the measured price of keeping the tail "
+                "inside target.\n");
     return 0;
 }

@@ -88,7 +88,6 @@ main()
     fleet.modeControl.kind = sim::ModePolicyKind::SlackDriven;
     fleet.modeControl.monitor.qosTarget =
         3.0 * fixed.dispatch.latencyMs.median;
-    fleet.modeControl.monitor.windowRequests = 64;
     sim::FleetResult slack = sim::runFleet(fleet);
     report("slack-driven", slack);
 

@@ -51,11 +51,14 @@ Cpi2Monitor::evaluateTail(double tail)
         ++violations;
         // First corrective action: disengage B-mode (step to Baseline or
         // Q-mode). If violations persist across windows, fall back to the
-        // CPI2 ladder and throttle the co-runner.
+        // CPI2 ladder and throttle the co-runner. A CPI outlier names the
+        // antagonist directly, so the tolerance count is skipped.
         ++consecutiveViolations;
         d.mode = cfg.hasQMode ? StretchMode::QosBoost : StretchMode::Baseline;
-        if (consecutiveViolations > cfg.violationsBeforeThrottle)
+        if (consecutiveViolations > cfg.violationsBeforeThrottle ||
+            cpiOutlier()) {
             d.throttleCoRunner = true;
+        }
     } else {
         consecutiveViolations = 0;
         if (d.throttleCoRunner && tail < cfg.engageFraction * cfg.qosTarget) {
@@ -89,6 +92,8 @@ Cpi2Monitor::evaluateTail(double tail)
         }
     }
 
+    if (d.throttleCoRunner && !last.throttleCoRunner)
+        ++throttleEngages;
     last = d;
     return d;
 }

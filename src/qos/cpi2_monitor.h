@@ -15,7 +15,18 @@
  *                                              action
  *
  * The monitor also implements CPI²'s antagonist detection on CPI samples
- * (outliers beyond mean + 2 sigma of the recent history).
+ * (outliers beyond mean + 2 sigma of the recent history). When the fleet
+ * dispatcher feeds it per-request signal (completion latency plus a
+ * CPI-style slowdown proxy), a violating window whose newest CPI sample
+ * is an outlier escalates straight to throttling — the antagonist has
+ * been identified, so the ladder skips the remaining tolerance windows.
+ *
+ * Units and determinism: latencies, the QoS target, and reported tails
+ * are all in the caller's latency unit (the fleet dispatcher feeds
+ * milliseconds of request sojourn time); CPI samples are dimensionless
+ * ratios. The monitor is a plain state machine — not thread-safe, no
+ * hidden clock or RNG — so identical call sequences always produce
+ * identical decisions.
  */
 
 #ifndef STRETCH_QOS_CPI2_MONITOR_H
@@ -44,7 +55,10 @@ struct MonitorConfig
     double qmodeFraction = 0.95;
     /** Provision a Q-mode configuration (optional per Section IV-B). */
     bool hasQMode = true;
-    /** Requests per decision window. */
+    /** Requests per decision window. Only request-count-driven callers
+     *  (windowReady() + evaluateWindow()) consult this; quantum-driven
+     *  controllers use evaluateWindowNow(), which evaluates whatever has
+     *  accumulated since the last boundary regardless of this knob. */
     std::size_t windowRequests = 256;
     /** Violating windows tolerated before throttling the co-runner. */
     unsigned violationsBeforeThrottle = 2;
@@ -103,7 +117,12 @@ class Cpi2Monitor
 
     /// @name CPI²-style antagonist detection.
     /// @{
-    /** Record a CPI sample of the protected task. */
+    /**
+     * Record a CPI sample of the protected task (dimensionless; the fleet
+     * dispatcher feeds sojourn-time / service-time slowdown ratios as the
+     * CPI analogue). An outlier sample makes the next violating window
+     * throttle immediately instead of waiting out the tolerance count.
+     */
     void recordCpi(double cpi);
     /** True if the newest CPI sample is an outlier (mean + 2 sigma). */
     bool cpiOutlier() const;
@@ -111,6 +130,9 @@ class Cpi2Monitor
 
     /** Number of windows whose tail violated the QoS target. */
     std::uint64_t violationWindows() const { return violations; }
+
+    /** Times the decision ladder newly engaged co-runner throttling. */
+    std::uint64_t throttleEngagements() const { return throttleEngages; }
 
     /** Configuration in force. */
     const MonitorConfig &config() const { return cfg; }
@@ -121,6 +143,7 @@ class Cpi2Monitor
     MonitorDecision last;
     unsigned consecutiveViolations = 0;
     std::uint64_t violations = 0;
+    std::uint64_t throttleEngages = 0;
     std::vector<double> cpiSamples;
 };
 

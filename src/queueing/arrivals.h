@@ -5,7 +5,13 @@
  * Tail latency below saturation is dominated by queueing caused by bursty
  * arrivals (Section II), so alongside Poisson arrivals we provide a
  * two-state Markov-modulated Poisson process (MMPP-2) whose high-rate
- * state models request bursts.
+ * state models request bursts, and a diurnal replay process whose rate
+ * follows a 24-hour `DiurnalTrace` load curve (Section VI-D) under time
+ * compression.
+ *
+ * All rates are requests per millisecond and all gaps are milliseconds of
+ * simulated time. Every process is deterministic in the `Rng` handed to
+ * `next()`: the same (seed, stream) pair replays the same arrival stream.
  */
 
 #ifndef STRETCH_QUEUEING_ARRIVALS_H
@@ -13,6 +19,7 @@
 
 #include <variant>
 
+#include "queueing/diurnal.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -96,9 +103,66 @@ class MmppArrivals
 };
 
 /**
- * Run-time choice between the two arrival models, so event-engine callers
+ * Non-homogeneous Poisson arrivals replaying a 24-hour `DiurnalTrace`:
+ * the instantaneous rate is peak_rate * trace.loadAt(hour), with the
+ * simulated-ms-to-trace-hour mapping set by @p ms_per_hour (time
+ * compression, so a whole day fits in a tractable simulation).
+ *
+ * Implemented by Lewis-Shedler thinning: candidate gaps are drawn at the
+ * peak rate and accepted with probability equal to the load fraction at
+ * the candidate instant, which samples the exact non-homogeneous process
+ * (trace loads are in [0, 1] by construction). The process keeps an
+ * internal clock, so one instance must serve one monotone arrival stream.
+ */
+class DiurnalArrivals
+{
+  public:
+    /**
+     * @param peak_rate_per_ms arrival rate at 100% trace load.
+     * @param trace 24-hour load curve (fractions of the daily peak).
+     * @param ms_per_hour simulated milliseconds per trace hour.
+     */
+    DiurnalArrivals(double peak_rate_per_ms, const DiurnalTrace &trace,
+                    double ms_per_hour)
+        : trace(trace), peak(peak_rate_per_ms), msPerHour(ms_per_hour)
+    {
+        STRETCH_ASSERT(peak > 0.0, "peak arrival rate must be positive");
+        STRETCH_ASSERT(ms_per_hour > 0.0, "ms-per-hour must be positive");
+        STRETCH_ASSERT(trace.meanLoad() > 0.0, "trace carries no load");
+    }
+
+    /** Next interarrival gap in milliseconds. */
+    double
+    next(Rng &rng)
+    {
+        double gap = 0.0;
+        for (;;) {
+            double d = rng.exponential(1.0 / peak);
+            gap += d;
+            clock += d;
+            if (rng.uniform() < trace.loadAt(clock / msPerHour))
+                return gap;
+        }
+    }
+
+    /** Simulated time of the last candidate drawn (ms). */
+    double clockMs() const { return clock; }
+
+    /** Trace hour corresponding to the internal clock. */
+    double hourNow() const { return clock / msPerHour; }
+
+  private:
+    DiurnalTrace trace;
+    double peak;
+    double msPerHour;
+    double clock = 0.0;
+};
+
+/**
+ * Run-time choice between the arrival models, so event-engine callers
  * (the fleet dispatcher, the service simulator) can switch between smooth
- * Poisson traffic and bursty MMPP-2 traffic with one configuration knob.
+ * Poisson traffic, bursty MMPP-2 traffic, and diurnal load replay with
+ * one configuration knob.
  */
 class ArrivalProcess
 {
@@ -119,6 +183,15 @@ class ArrivalProcess
                                            dwell_low_ms, dwell_high_ms));
     }
 
+    /** Diurnal replay peaking at @p peak_rate_per_ms (see DiurnalArrivals). */
+    static ArrivalProcess
+    diurnal(double peak_rate_per_ms, const DiurnalTrace &trace,
+            double ms_per_hour)
+    {
+        return ArrivalProcess(
+            DiurnalArrivals(peak_rate_per_ms, trace, ms_per_hour));
+    }
+
     /** Next interarrival gap in milliseconds. */
     double
     next(Rng &rng)
@@ -127,7 +200,8 @@ class ArrivalProcess
     }
 
   private:
-    using Impl = std::variant<PoissonArrivals, MmppArrivals>;
+    using Impl =
+        std::variant<PoissonArrivals, MmppArrivals, DiurnalArrivals>;
     explicit ArrivalProcess(Impl impl) : impl(std::move(impl)) {}
     Impl impl;
 };

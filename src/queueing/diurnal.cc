@@ -51,6 +51,15 @@ DiurnalTrace::loadAt(double hour) const
 }
 
 double
+DiurnalTrace::meanLoad() const
+{
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
 DiurnalTrace::hoursBelow(double threshold, double step_hours) const
 {
     STRETCH_ASSERT(step_hours > 0.0, "step must be positive");

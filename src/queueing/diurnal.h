@@ -36,6 +36,13 @@ class DiurnalTrace
     /** Hours per day with load strictly below the threshold fraction. */
     double hoursBelow(double threshold, double step_hours = 0.01) const;
 
+    /**
+     * Mean load fraction over the 24-hour period. For the piecewise-linear
+     * periodic curve this is exactly the mean of the hourly samples; used
+     * to size request streams that should span a whole simulated day.
+     */
+    double meanLoad() const;
+
     /** Trace name. */
     const std::string &name() const { return traceName; }
 

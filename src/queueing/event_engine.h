@@ -13,8 +13,20 @@
  *
  * Callers supply the stochastic pieces (interarrival gaps, service
  * demands), the placement decision, and the demand-to-finish-time model
- * (service rate scaling, duty-cycle modulation) as callbacks; everything
- * is single-threaded and fully determined by the callbacks' RNG streams.
+ * (service rate scaling, duty-cycle modulation) as callbacks.
+ *
+ * Units: every time value crossing this interface — gaps, finish times,
+ * backlogs, capacity charges, quantum boundaries, `elapsedMs()` — is in
+ * milliseconds of simulated time; demands are in whatever unit the
+ * caller's `finish` callback converts to milliseconds (the fleet
+ * dispatcher uses mean-request units divided by a requests/ms rate).
+ *
+ * Threading and determinism: the engine is strictly single-threaded and
+ * carries no clock or RNG of its own; a run is fully determined by the
+ * callbacks' RNG streams, and callbacks are invoked in a deterministic
+ * total order (completions and boundaries in time order, completions
+ * first on ties, arrival index breaking completion ties). Instances are
+ * not thread-safe; use one engine per thread.
  */
 
 #ifndef STRETCH_QUEUEING_EVENT_ENGINE_H

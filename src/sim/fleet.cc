@@ -95,6 +95,24 @@ DispatchOutcome::totalTransitions() const
     return total;
 }
 
+std::uint64_t
+DispatchOutcome::totalThrottleEngagements() const
+{
+    std::uint64_t total = 0;
+    for (const CoreModeStats &m : modeStats)
+        total += m.throttleEngagements;
+    return total;
+}
+
+double
+DispatchOutcome::totalThrottleMs() const
+{
+    double total = 0.0;
+    for (const CoreModeStats &m : modeStats)
+        total += m.throttleMs;
+    return total;
+}
+
 FleetConfig
 homogeneousFleet(unsigned n, const RunConfig &base)
 {
@@ -110,6 +128,17 @@ homogeneousFleet(unsigned n, const RunConfig &base)
     return fleet;
 }
 
+FleetConfig
+heterogeneousFleet(const RunConfig &base, std::vector<CoreSlot> slots)
+{
+    STRETCH_ASSERT(!slots.empty(), "heterogeneous fleet needs at least one "
+                                   "slot");
+    FleetConfig fleet =
+        homogeneousFleet(static_cast<unsigned>(slots.size()), base);
+    fleet.slots = std::move(slots);
+    return fleet;
+}
+
 DispatchOutcome
 dispatchRequests(const DispatchConfig &cfg)
 {
@@ -117,6 +146,9 @@ dispatchRequests(const DispatchConfig &cfg)
     STRETCH_ASSERT(n > 0, "dispatch needs at least one core");
     STRETCH_ASSERT(cfg.burstRatio >= 1.0, "burst ratio must be >= 1");
     STRETCH_ASSERT(cfg.demandLogSigma >= 0.0, "negative demand sigma");
+    STRETCH_ASSERT(cfg.timelineBucketMs >= 0.0, "negative timeline bucket");
+    STRETCH_ASSERT(!cfg.diurnalTrace || cfg.msPerHour > 0.0,
+                   "diurnal replay needs a positive ms-per-hour");
 
     const ModeControlConfig &mc = cfg.control;
     const bool dynamic = mc.kind != ModePolicyKind::Static;
@@ -131,7 +163,8 @@ dispatchRequests(const DispatchConfig &cfg)
     std::vector<std::size_t> servingIdx;
     for (std::size_t c = 0; c < n; ++c) {
         const ModeRates &r = cfg.rates[c];
-        STRETCH_ASSERT(r.baseline >= 0.0 && r.bmode >= 0.0 && r.qmode >= 0.0,
+        STRETCH_ASSERT(r.baseline >= 0.0 && r.bmode >= 0.0 &&
+                           r.qmode >= 0.0 && r.throttledLs >= 0.0,
                        "negative service rate");
         if (r.baseline > 0.0) {
             STRETCH_ASSERT(r.bmode > 0.0 && r.qmode > 0.0,
@@ -169,12 +202,21 @@ dispatchRequests(const DispatchConfig &cfg)
     Rng arrivalsRng(cfg.seed, arrivalStream);
     Rng demandsRng(cfg.seed, demandStream);
     Rng placementRng(cfg.seed, placementStream);
-    queueing::ArrivalProcess arrivals =
-        cfg.burstRatio > 1.0
-            ? queueing::ArrivalProcess::mmpp(out.offeredRatePerMs,
-                                             cfg.burstRatio, cfg.dwellLowMs,
-                                             cfg.dwellHighMs)
-            : queueing::ArrivalProcess::poisson(out.offeredRatePerMs);
+    queueing::ArrivalProcess arrivals = [&] {
+        if (cfg.diurnalTrace) {
+            // Diurnal replay: the offered rate is the PEAK rate; the trace
+            // modulates the instantaneous rate below it.
+            return queueing::ArrivalProcess::diurnal(
+                out.offeredRatePerMs, *cfg.diurnalTrace, cfg.msPerHour);
+        }
+        if (cfg.burstRatio > 1.0) {
+            return queueing::ArrivalProcess::mmpp(out.offeredRatePerMs,
+                                                  cfg.burstRatio,
+                                                  cfg.dwellLowMs,
+                                                  cfg.dwellHighMs);
+        }
+        return queueing::ArrivalProcess::poisson(out.offeredRatePerMs);
+    }();
     // Unit-mean demand in "mean-request units": the serving core's rate
     // converts it to milliseconds, so a fast core finishes the same
     // request sooner.
@@ -189,6 +231,29 @@ dispatchRequests(const DispatchConfig &cfg)
             controls[c] = std::make_unique<CoreControl>(mc);
     }
     std::vector<double> segStartMs(n, 0.0);
+
+    // Co-runner throttle state (the CPI² corrective action): engaged and
+    // lifted by the SlackDriven monitor ladder at quantum boundaries.
+    std::vector<char> throttled(n, 0);
+    std::vector<double> throttleStartMs(n, 0.0);
+    auto effectiveRate = [&](std::size_t c) {
+        if (throttled[c] && cfg.rates[c].throttledLs > 0.0)
+            return cfg.rates[c].throttledLs;
+        return cfg.rates[c].rate(mode[c]);
+    };
+
+    // Completion-timeline buckets (sized lazily as the run extends).
+    const bool timelineOn = cfg.timelineBucketMs > 0.0;
+    std::vector<std::vector<double>> bucketLatencies;
+    std::vector<double> bucketThrottleMs;
+    auto bucketAt = [&](double t) -> std::size_t {
+        auto b = static_cast<std::size_t>(t / cfg.timelineBucketMs);
+        if (bucketLatencies.size() <= b) {
+            bucketLatencies.resize(b + 1);
+            bucketThrottleMs.resize(b + 1, 0.0);
+        }
+        return b;
+    };
 
     queueing::EventEngine engine(n);
     std::vector<double> latencies;
@@ -263,15 +328,30 @@ dispatchRequests(const DispatchConfig &cfg)
     };
     cb.onComplete = [&](const queueing::Completion &c) {
         latencies.push_back(c.latencyMs());
-        if (controls[c.server])
-            controls[c.server]->monitor.recordLatency(c.latencyMs());
+        if (timelineOn)
+            bucketLatencies[bucketAt(c.finishMs)].push_back(c.latencyMs());
+        if (controls[c.server]) {
+            Cpi2Monitor &mon = controls[c.server]->monitor;
+            mon.recordLatency(c.latencyMs());
+            // CPI analogue: sojourn-over-service slowdown of this request.
+            // Queueing caused by an antagonised (or overloaded) core
+            // inflates it exactly the way contention inflates CPI.
+            double service = c.finishMs - c.startMs;
+            if (service > 0.0) {
+                mon.recordCpi(c.latencyMs() / service);
+                if (mon.cpiOutlier())
+                    ++out.modeStats[c.server].cpiOutliers;
+            }
+        }
     };
     if (dynamic) {
         cb.quantumMs = mc.quantumMs;
         cb.onQuantum = [&](double t) {
+            std::size_t throttledNow = 0;
             for (std::size_t c : servingIdx) {
                 CoreControl &cc = *controls[c];
                 StretchMode next = mode[c];
+                bool wantThrottle = static_cast<bool>(throttled[c]);
                 switch (mc.kind) {
                   case ModePolicyKind::BacklogHysteresis: {
                     double backlog = engine.backlogMs(c, t);
@@ -298,15 +378,34 @@ dispatchRequests(const DispatchConfig &cfg)
                     break;
                   }
                   case ModePolicyKind::SlackDriven:
-                    if (cc.monitor.windowFill() > 0)
-                        next = cc.monitor.evaluateWindowNow().mode;
+                    if (cc.monitor.windowFill() > 0) {
+                        MonitorDecision d = cc.monitor.evaluateWindowNow();
+                        next = d.mode;
+                        wantThrottle =
+                            mc.honorThrottle && d.throttleCoRunner;
+                    }
                     break;
                   case ModePolicyKind::Static:
                     break;
                 }
+                CoreModeStats &ms = out.modeStats[c];
+                if (wantThrottle != static_cast<bool>(throttled[c])) {
+                    // Act on the monitor's ladder: suppress or release the
+                    // batch co-runner. The LS thread serves at the
+                    // throttled rate while the suppression holds.
+                    if (wantThrottle) {
+                        ++ms.throttleEngagements;
+                        throttleStartMs[c] = t;
+                    } else {
+                        ms.throttleMs += t - throttleStartMs[c];
+                    }
+                    throttled[c] = wantThrottle;
+                    rate[c] = effectiveRate(c);
+                }
+                if (throttled[c])
+                    ++throttledNow;
                 if (next == mode[c])
                     continue;
-                CoreModeStats &ms = out.modeStats[c];
                 ms.residencyMs[modeIndex(mode[c])] += t - segStartMs[c];
                 segStartMs[c] = t;
                 cc.ctrl.engage(next); // register write + partitions + flush
@@ -314,19 +413,27 @@ dispatchRequests(const DispatchConfig &cfg)
                 ms.flushMs += mc.flushCostMs;
                 ++ms.transitions;
                 mode[c] = next;
-                rate[c] = cfg.rates[c].rate(next);
+                rate[c] = effectiveRate(c);
+            }
+            if (timelineOn && throttledNow > 0) {
+                bucketThrottleMs[bucketAt(t)] +=
+                    mc.quantumMs * static_cast<double>(throttledNow);
             }
         };
     }
 
     engine.run(cfg.requests, cb);
 
-    // Close out the mode timeline at the makespan.
+    // Close out the mode and throttle timelines at the makespan.
     out.elapsedMs = engine.elapsedMs();
     for (std::size_t c : servingIdx) {
         CoreModeStats &ms = out.modeStats[c];
         ms.residencyMs[modeIndex(mode[c])] += out.elapsedMs - segStartMs[c];
         ms.finalMode = mode[c];
+        if (throttled[c]) {
+            ms.throttleMs += out.elapsedMs - throttleStartMs[c];
+            ms.throttledAtEnd = true;
+        }
         if (controls[c]) {
             STRETCH_ASSERT(controls[c]->ctrl.modeChanges() == ms.transitions,
                            "mode-register change count diverged from the "
@@ -336,6 +443,26 @@ dispatchRequests(const DispatchConfig &cfg)
     for (std::size_t c = 0; c < n; ++c) {
         out.placed[c] = engine.servers()[c].placed;
         out.busyMs[c] = engine.servers()[c].busyMs;
+    }
+
+    if (timelineOn) {
+        out.timeline.reserve(bucketLatencies.size());
+        for (std::size_t b = 0; b < bucketLatencies.size(); ++b) {
+            TimelineBucket tb;
+            tb.startMs = static_cast<double>(b) * cfg.timelineBucketMs;
+            tb.completions = bucketLatencies[b].size();
+            if (!bucketLatencies[b].empty()) {
+                tb.p50Ms = stats::percentile(bucketLatencies[b], 50.0);
+                tb.p99Ms = stats::percentile(bucketLatencies[b], 99.0);
+            }
+            if (cfg.diurnalTrace) {
+                tb.loadFraction = cfg.diurnalTrace->loadAt(
+                    (tb.startMs + 0.5 * cfg.timelineBucketMs) /
+                    cfg.msPerHour);
+            }
+            tb.throttledCoreMs = bucketThrottleMs[b];
+            out.timeline.push_back(tb);
+        }
     }
 
     out.latencyMs = stats::summarize(latencies);
@@ -367,10 +494,54 @@ runFleet(const FleetConfig &cfg)
 {
     const std::size_t n = cfg.cores.size();
     STRETCH_ASSERT(n > 0, "fleet needs at least one core");
+    STRETCH_ASSERT(cfg.slots.empty() || cfg.slots.size() == n,
+                   "slots must be empty or index-matched to cores");
 
     const ModeControlConfig &mc = cfg.modeControl;
     const bool dynamic = mc.kind != ModePolicyKind::Static ||
                          mc.staticMode != StretchMode::Baseline;
+    // The throttled operating point is only worth simulating when the
+    // control loop can actually order co-runner throttling.
+    const bool withThrottle =
+        mc.kind == ModePolicyKind::SlackDriven && mc.honorThrottle;
+    const std::size_t points =
+        dynamic ? numStretchModes + (withThrottle ? 1 : 0) : 1;
+
+    // Heterogeneous slot parameters: physical sizes override the slot's
+    // RunConfig, and per-slot skews (when set) override the fleet-wide
+    // mode-control skews so little cores get partitions that fit.
+    auto slotConfig = [&](std::size_t i) {
+        RunConfig rc = cfg.cores[i];
+        if (i < cfg.slots.size()) {
+            if (cfg.slots[i].robEntries)
+                rc.robEntries = cfg.slots[i].robEntries;
+            if (cfg.slots[i].lsqEntries)
+                rc.lsqEntries = cfg.slots[i].lsqEntries;
+        }
+        return rc;
+    };
+    auto slotSkew = [&](std::size_t i, StretchMode m) {
+        if (i < cfg.slots.size()) {
+            const SkewConfig &s = m == StretchMode::BatchBoost
+                                      ? cfg.slots[i].bmodeSkew
+                                      : cfg.slots[i].qmodeSkew;
+            if (s.lsRobEntries + s.batchRobEntries > 0)
+                return s;
+        }
+        return m == StretchMode::BatchBoost ? mc.bmodeSkew : mc.qmodeSkew;
+    };
+    if (dynamic) {
+        for (std::size_t i = 0; i < n; ++i) {
+            RunConfig rc = slotConfig(i);
+            for (StretchMode m :
+                 {StretchMode::BatchBoost, StretchMode::QosBoost}) {
+                SkewConfig s = slotSkew(i, m);
+                STRETCH_ASSERT(s.lsRobEntries + s.batchRobEntries <=
+                                   rc.robEntries,
+                               "slot skew exceeds the slot's ROB");
+            }
+        }
+    }
 
     FleetResult fleet;
     fleet.cores.resize(n);
@@ -378,27 +549,43 @@ runFleet(const FleetConfig &cfg)
     // Per-core simulations share no mutable state and each result depends
     // only on its own derived RunConfig, so the pool schedule cannot
     // change any bit of the index-addressed results. Under dynamic mode
-    // control every core is measured at all three operating points with
-    // the same seed (the paper's matched-sampling methodology), so the
-    // dispatcher knows the capacity each register write buys.
-    std::vector<RunResult> modeResults;
+    // control every core is measured at all three operating points — plus
+    // the fetch-throttled point when the monitor may throttle — with the
+    // same seed (the paper's matched-sampling methodology), so the
+    // dispatcher knows the capacity each control action buys.
+    std::vector<RunResult> pointResults;
     if (dynamic) {
-        modeResults.resize(n * numStretchModes);
+        pointResults.resize(n * points);
         ThreadPool::parallelFor(
-            cfg.threads, n * numStretchModes, [&](std::size_t task) {
-                std::size_t i = task / numStretchModes;
-                auto m = static_cast<StretchMode>(task % numStretchModes);
-                RunConfig rc = cfg.cores[i];
-                rc.rob = robSetupFor(m, mc.bmodeSkew, mc.qmodeSkew);
-                modeResults[task] = run(rc);
+            cfg.threads, n * points, [&](std::size_t task) {
+                std::size_t i = task / points;
+                std::size_t p = task % points;
+                RunConfig rc = slotConfig(i);
+                if (p < numStretchModes) {
+                    auto m = static_cast<StretchMode>(p);
+                    rc.rob =
+                        robSetupFor(m, slotSkew(i, StretchMode::BatchBoost),
+                                    slotSkew(i, StretchMode::QosBoost));
+                } else {
+                    // Throttled point: the monitor only orders throttling
+                    // after stepping to Q-mode, so measure the Q-mode
+                    // partition with the batch thread fetching once every
+                    // throttleFetchRatio cycles on top of it.
+                    rc.rob = robSetupFor(StretchMode::QosBoost,
+                                         slotSkew(i, StretchMode::BatchBoost),
+                                         slotSkew(i, StretchMode::QosBoost));
+                    rc.fetchPolicy = FetchPolicy::Throttle;
+                    rc.throttleRatio = mc.throttleFetchRatio;
+                    rc.throttledThread = 1;
+                }
+                pointResults[task] = run(rc);
             });
         for (std::size_t i = 0; i < n; ++i)
             fleet.cores[i] =
-                modeResults[i * numStretchModes +
-                            modeIndex(StretchMode::Baseline)];
+                pointResults[i * points + modeIndex(StretchMode::Baseline)];
     } else {
         ThreadPool::parallelFor(cfg.threads, n, [&](std::size_t i) {
-            fleet.cores[i] = run(cfg.cores[i]);
+            fleet.cores[i] = run(slotConfig(i));
         });
     }
 
@@ -406,6 +593,7 @@ runFleet(const FleetConfig &cfg)
     std::vector<double> ls_uipc, batch_uipc;
     fleet.serviceRatePerMs.assign(n, 0.0);
     fleet.modeRates.assign(n, ModeRates{});
+    fleet.batchPoints.assign(n, FleetResult::BatchOperatingPoints{});
     const double cycles_per_ms = coreFreqGhz * 1e6;
     auto uipcToRate = [&](double uipc) {
         return uipc * cycles_per_ms / cfg.opsPerRequest;
@@ -421,15 +609,26 @@ runFleet(const FleetConfig &cfg)
         // LS thread commit rate converted to request service rate.
         fleet.serviceRatePerMs[i] = uipcToRate(r.uipc[0]);
         if (dynamic) {
-            const RunResult *per_mode = &modeResults[i * numStretchModes];
+            const RunResult *per_point = &pointResults[i * points];
             fleet.modeRates[i].baseline = uipcToRate(
-                per_mode[modeIndex(StretchMode::Baseline)].uipc[0]);
+                per_point[modeIndex(StretchMode::Baseline)].uipc[0]);
             fleet.modeRates[i].bmode = uipcToRate(
-                per_mode[modeIndex(StretchMode::BatchBoost)].uipc[0]);
+                per_point[modeIndex(StretchMode::BatchBoost)].uipc[0]);
             fleet.modeRates[i].qmode = uipcToRate(
-                per_mode[modeIndex(StretchMode::QosBoost)].uipc[0]);
+                per_point[modeIndex(StretchMode::QosBoost)].uipc[0]);
+            for (std::size_t m = 0; m < numStretchModes; ++m)
+                fleet.batchPoints[i].byMode[m] = per_point[m].uipc[1];
+            if (withThrottle) {
+                fleet.modeRates[i].throttledLs =
+                    uipcToRate(per_point[numStretchModes].uipc[0]);
+                fleet.batchPoints[i].throttled =
+                    per_point[numStretchModes].uipc[1];
+            }
         } else {
             fleet.modeRates[i] = ModeRates::flat(fleet.serviceRatePerMs[i]);
+            for (std::size_t m = 0; m < numStretchModes; ++m)
+                fleet.batchPoints[i].byMode[m] = r.uipc[1];
+            fleet.batchPoints[i].throttled = r.uipc[1];
         }
     }
     fleet.lsUipc = stats::summarize(ls_uipc);
@@ -442,8 +641,33 @@ runFleet(const FleetConfig &cfg)
     dispatch.arrivalRatePerMs = cfg.arrivalRatePerMs;
     dispatch.seed = cfg.seed;
     dispatch.burstRatio = cfg.burstRatio;
+    dispatch.diurnalTrace = cfg.diurnalTrace;
+    dispatch.msPerHour = cfg.msPerHour;
+    dispatch.timelineBucketMs = cfg.timelineBucketMs;
     dispatch.control = cfg.modeControl;
     fleet.dispatch = dispatchRequests(dispatch);
+
+    // Close the loop's throughput accounting: weight each core's batch
+    // UIPC by its dispatch-time mode residency, and collapse it to the
+    // suppressed rate for the fraction of the run the monitor held the
+    // co-runner throttled (throttle time is approximated as spread across
+    // modes in residency proportion).
+    for (std::size_t i = 0; i < n; ++i) {
+        const CoreModeStats &ms = fleet.dispatch.modeStats[i];
+        const FleetResult::BatchOperatingPoints &bp = fleet.batchPoints[i];
+        double total = ms.residencyMs[0] + ms.residencyMs[1] +
+                       ms.residencyMs[2];
+        if (total <= 0.0) {
+            fleet.effectiveBatchUipc += fleet.cores[i].uipc[1];
+            continue;
+        }
+        double mode_mix = 0.0;
+        for (std::size_t m = 0; m < numStretchModes; ++m)
+            mode_mix += ms.residencyMs[m] / total * bp.byMode[m];
+        double thr_frac = std::min(1.0, ms.throttleMs / total);
+        fleet.effectiveBatchUipc +=
+            (1.0 - thr_frac) * mode_mix + thr_frac * bp.throttled;
+    }
     return fleet;
 }
 

@@ -20,6 +20,22 @@
  * change. Mode-change flush costs are charged against service capacity,
  * and per-core mode residency/transition counts are reported in the
  * dispatch outcome.
+ *
+ * The monitor's full CPI² decision ladder is closed: completion latencies
+ * and CPI-style slowdown proxies feed each core's monitor, and when the
+ * ladder orders co-runner throttling the dispatcher suppresses the batch
+ * thread on that core — the latency-sensitive thread serves at its
+ * measured throttled capacity while the batch thread's throughput
+ * contribution collapses — until the monitor disengages. Fleets may also
+ * replay a 24-hour `queueing::DiurnalTrace` as the arrival process and
+ * mix heterogeneous (big/little ROB) core slots.
+ *
+ * Units: all simulated times (latencies, residencies, quanta, backlog)
+ * are milliseconds; service rates are requests per millisecond; control
+ * policies run at quantum boundaries (multiples of
+ * `ModeControlConfig::quantumMs`). Everything here is deterministic in
+ * the config seeds — `runFleet` is bit-identical for any thread count,
+ * and `dispatchRequests` is single-threaded by construction.
  */
 
 #ifndef STRETCH_SIM_FLEET_H
@@ -27,10 +43,12 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "qos/cpi2_monitor.h"
 #include "qos/stretch_controller.h"
+#include "queueing/diurnal.h"
 #include "sim/runner.h"
 #include "stats/summary.h"
 
@@ -77,6 +95,16 @@ struct ModeRates
     double baseline = 0.0;
     double bmode = 0.0;
     double qmode = 0.0;
+
+    /**
+     * LS service rate while the batch co-runner is throttled (requests/ms).
+     * Measured at the Q-mode partition with the co-runner fetch-throttled
+     * on top — the ladder only orders throttling after stepping to Q-mode
+     * — so it normally sits above `qmode`. 0 means no throttled operating
+     * point was measured: a throttled core then keeps its engaged mode's
+     * rate, so throttling only suppresses the batch side.
+     */
+    double throttledLs = 0.0;
 
     /** Rate under the given mode. */
     double
@@ -130,6 +158,19 @@ struct ModeControlConfig
      *  milliseconds of request sojourn time. */
     MonitorConfig monitor;
 
+    /**
+     * Act on `MonitorDecision::throttleCoRunner` (SlackDriven only):
+     * suppress the batch thread on a core whose monitor orders throttling
+     * and serve at the throttled LS rate until the ladder disengages.
+     * Disable to measure a never-throttle baseline against the same
+     * stream.
+     */
+    bool honorThrottle = true;
+
+    /** Fetch-cycle ratio (1:R) used to measure the throttled operating
+     *  point — the batch thread fetches once every R cycles. */
+    unsigned throttleFetchRatio = 8;
+
     /// @name Design-time skews programmed by the per-core controller.
     /// @{
     SkewConfig bmodeSkew{56, 136};
@@ -137,7 +178,7 @@ struct ModeControlConfig
     /// @}
 };
 
-/** Mode timeline of one core over a dispatch run. */
+/** Mode and throttle timeline of one core over a dispatch run. */
 struct CoreModeStats
 {
     /** Simulated time spent in each mode, indexed by modeIndex(). */
@@ -148,6 +189,19 @@ struct CoreModeStats
     double flushMs = 0.0;
     /** Mode engaged when the run ended. */
     StretchMode finalMode = StretchMode::Baseline;
+
+    /// @name Co-runner throttling (the CPI² corrective action).
+    /// @{
+    /** Simulated time with the batch co-runner suppressed (overlaps the
+     *  mode residencies above — throttling is orthogonal to the mode). */
+    double throttleMs = 0.0;
+    /** Distinct throttle engagements ordered by the monitor ladder. */
+    std::uint64_t throttleEngagements = 0;
+    /** Completions whose CPI-proxy sample was an antagonist outlier. */
+    std::uint64_t cpiOutliers = 0;
+    /** Throttle still engaged when the run ended. */
+    bool throttledAtEnd = false;
+    /// @}
 };
 
 /** Full description of a request-dispatch experiment over fixed cores. */
@@ -182,7 +236,41 @@ struct DispatchConfig
      */
     double demandLogSigma = 0.0;
 
+    /// @name Diurnal load replay.
+    /// When a trace is set it overrides burstRatio: arrivals become a
+    /// non-homogeneous Poisson process whose rate follows the 24-hour
+    /// curve, and `arrivalRatePerMs` (or the 70%-capacity default) is the
+    /// PEAK rate — the rate at 100% trace load.
+    /// @{
+    std::optional<queueing::DiurnalTrace> diurnalTrace;
+    /** Time compression: simulated milliseconds per trace hour. */
+    double msPerHour = 50.0;
+    /// @}
+
+    /**
+     * Completion-timeline bucketing: > 0 slices the run into buckets of
+     * this many milliseconds and reports per-bucket latency summaries in
+     * `DispatchOutcome::timeline` (e.g. one bucket per replayed hour).
+     * 0 disables the timeline.
+     */
+    double timelineBucketMs = 0.0;
+
     ModeControlConfig control;
+};
+
+/** Latency/throughput summary of one timeline bucket (see
+ *  DispatchConfig::timelineBucketMs). */
+struct TimelineBucket
+{
+    double startMs = 0.0;           ///< bucket start (simulated time)
+    std::uint64_t completions = 0;  ///< requests finishing in the bucket
+    double p50Ms = 0.0;             ///< median sojourn time in the bucket
+    double p99Ms = 0.0;             ///< p99 sojourn time in the bucket
+    /** Trace load fraction at the bucket midpoint (0 without a trace). */
+    double loadFraction = 0.0;
+    /** Core-milliseconds spent throttled inside the bucket (summed over
+     *  cores, accumulated at quantum granularity). */
+    double throttledCoreMs = 0.0;
 };
 
 /** Outcome of dispatching a request stream over the fleet's cores. */
@@ -198,8 +286,17 @@ struct DispatchOutcome
      *  cores (all-zero residency for non-serving cores). */
     std::vector<CoreModeStats> modeStats;
 
+    /** Per-bucket latency timeline (empty unless timelineBucketMs > 0). */
+    std::vector<TimelineBucket> timeline;
+
     /** Sum of mode transitions across the fleet. */
     std::uint64_t totalTransitions() const;
+
+    /** Sum of throttle engagements across the fleet. */
+    std::uint64_t totalThrottleEngagements() const;
+
+    /** Total core-milliseconds spent with the co-runner throttled. */
+    double totalThrottleMs() const;
 };
 
 /** Run a dispatch experiment on the discrete-event queueing engine. */
@@ -216,11 +313,35 @@ DispatchOutcome dispatchRequests(const std::vector<double> &serviceRatePerMs,
                                  std::uint64_t requests,
                                  double arrivalRatePerMs, std::uint64_t seed);
 
+/**
+ * Per-slot physical core parameters for heterogeneous (big/little)
+ * fleets. A zero field keeps the corresponding value from the slot's
+ * `RunConfig` (sizes) or the fleet-wide `ModeControlConfig` (skews).
+ */
+struct CoreSlot
+{
+    unsigned robEntries = 0; ///< physical ROB entries; 0 = RunConfig's
+    unsigned lsqEntries = 0; ///< physical LSQ entries; 0 = RunConfig's
+    /** B-mode skew for this slot; {0,0} = fleet-wide default. Must fit
+     *  the slot's ROB (ls + batch <= robEntries). */
+    SkewConfig bmodeSkew{0, 0};
+    /** Q-mode skew for this slot; {0,0} = fleet-wide default. */
+    SkewConfig qmodeSkew{0, 0};
+};
+
 /** Full description of a fleet experiment. */
 struct FleetConfig
 {
     /** One entry per SMT core; each is a complete colocation pair. */
     std::vector<RunConfig> cores;
+
+    /**
+     * Optional heterogeneous core classes: either empty (every core uses
+     * its RunConfig sizes and the fleet-wide skews) or index-matched to
+     * `cores`. Slot overrides apply to every capacity measurement —
+     * big/little fleets get per-slot mode skews sized to their ROBs.
+     */
+    std::vector<CoreSlot> slots;
 
     PlacementPolicy policy = PlacementPolicy::RoundRobin;
 
@@ -234,6 +355,13 @@ struct FleetConfig
     std::uint64_t seed = 42; ///< dispatch arrival/demand stream seed
     /** Arrival burstiness handed to the dispatcher (1 = Poisson). */
     double burstRatio = 1.0;
+    /** Diurnal load replay (overrides burstRatio; arrivalRatePerMs
+     *  becomes the peak rate — see DispatchConfig). */
+    std::optional<queueing::DiurnalTrace> diurnalTrace;
+    /** Simulated milliseconds per trace hour (diurnal replay only). */
+    double msPerHour = 50.0;
+    /** Dispatch timeline bucketing in ms (0 = off). */
+    double timelineBucketMs = 0.0;
     /// @}
 
     /**
@@ -253,6 +381,15 @@ struct FleetConfig
  * decorrelated seed (mixSeed(base.seed, core index)).
  */
 FleetConfig homogeneousFleet(unsigned n, const RunConfig &base);
+
+/**
+ * Convenience: a heterogeneous fleet with one core per entry of
+ * @p slots, each core cloned from @p base with a decorrelated seed and
+ * its slot's physical parameters (e.g. mix 192-entry "big" and 128-entry
+ * "little" ROB configurations with per-slot mode skews).
+ */
+FleetConfig heterogeneousFleet(const RunConfig &base,
+                               std::vector<CoreSlot> slots);
 
 /** Aggregated outcome of a fleet run. */
 struct FleetResult
@@ -281,8 +418,32 @@ struct FleetResult
     std::vector<double> serviceRatePerMs;
 
     /** Per-mode service rates per core (equal across modes when the fleet
-     *  ran without dynamic mode control). */
+     *  ran without dynamic mode control; `throttledLs` is measured only
+     *  when the control loop can actually throttle). */
     std::vector<ModeRates> modeRates;
+
+    /** Batch-thread UIPC of one core at each operating point. */
+    struct BatchOperatingPoints
+    {
+        /** Batch UIPC under each mode, indexed by modeIndex(). */
+        std::array<double, numStretchModes> byMode{};
+        /** Batch UIPC while fetch-throttled 1:R (the suppressed rate). */
+        double throttled = 0.0;
+    };
+
+    /** Per-core batch operating points (equal across modes when the fleet
+     *  ran without dynamic mode control). */
+    std::vector<BatchOperatingPoints> batchPoints;
+
+    /**
+     * Fleet batch throughput (summed UIPC) weighted by each core's
+     * dispatch-time mode residency and throttle residency: time spent
+     * throttled contributes the suppressed batch rate, the rest the
+     * engaged mode's rate (throttle time is assumed spread across modes
+     * in residency proportion). Equals `totalBatchUipc` for static
+     * baseline fleets — the measurable cost of the QoS actuator.
+     */
+    double effectiveBatchUipc = 0.0;
 };
 
 /**

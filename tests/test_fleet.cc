@@ -444,6 +444,259 @@ TEST(ModeControl, BurstyArrivalsAreDeterministic)
     EXPECT_EQ(a.totalTransitions(), b.totalTransitions());
 }
 
+// ---- Co-runner throttling (the closed CPI² actuation loop) ------------
+
+/** Overloaded two-core config whose monitor must walk the full ladder:
+ *  violations step to Q-mode, persist, and order throttling; the
+ *  throttled LS rate is well above every mode rate so actuation shows. */
+DispatchConfig
+throttleConfig()
+{
+    DispatchConfig cfg;
+    cfg.rates = {ModeRates{2.0, 1.7, 2.4, 3.4},
+                 ModeRates{2.0, 1.7, 2.4, 3.4}};
+    cfg.policy = PlacementPolicy::LeastLoaded;
+    cfg.requests = 20000;
+    cfg.seed = 33;
+    cfg.arrivalRatePerMs = 1.1 * 4.0; // 110% of baseline capacity
+    cfg.control.kind = ModePolicyKind::SlackDriven;
+    cfg.control.quantumMs = 0.5;
+    cfg.control.monitor.qosTarget = 5.0; // ms of sojourn; overload violates
+    return cfg;
+}
+
+TEST(ThrottleControl, LadderEngagesAndDisengagesWithHysteresis)
+{
+    DispatchOutcome out = dispatchRequests(throttleConfig());
+
+    EXPECT_GE(out.totalThrottleEngagements(), 1u);
+    EXPECT_GT(out.totalThrottleMs(), 0.0);
+    for (std::size_t c = 0; c < 2; ++c) {
+        const CoreModeStats &m = out.modeStats[c];
+        // The ladder really cycles: a second engagement implies a lift in
+        // between, and the post-stream drain recovers the tail so the
+        // run ends unthrottled.
+        EXPECT_GE(m.throttleEngagements, 2u);
+        EXPECT_FALSE(m.throttledAtEnd);
+        EXPECT_LT(m.throttleMs, out.elapsedMs);
+        // Engagement needs violationsBeforeThrottle+1 violating windows
+        // and release needs deep recovery, so a sane controller cycles
+        // far slower than the quantum clock (no flapping).
+        double quanta = out.elapsedMs / 0.5;
+        EXPECT_LT(static_cast<double>(m.throttleEngagements),
+                  quanta / 8.0);
+        // The monitor saw real per-request CPI signal.
+        EXPECT_GT(m.cpiOutliers, 0u);
+    }
+}
+
+TEST(ThrottleControl, ActuationCutsTailVsNeverThrottle)
+{
+    DispatchConfig cfg = throttleConfig();
+    cfg.control.honorThrottle = false;
+    DispatchOutcome never = dispatchRequests(cfg);
+    EXPECT_EQ(never.totalThrottleMs(), 0.0);
+    EXPECT_EQ(never.totalThrottleEngagements(), 0u);
+
+    cfg.control.honorThrottle = true;
+    DispatchOutcome acted = dispatchRequests(cfg);
+    EXPECT_GT(acted.totalThrottleMs(), 0.0);
+
+    // Suppressing the co-runner frees real LS capacity: the tail and the
+    // makespan both improve against the identical arrival stream.
+    EXPECT_LT(acted.latencyMs.p99, never.latencyMs.p99);
+    EXPECT_LT(acted.latencyMs.median, never.latencyMs.median);
+}
+
+TEST(ThrottleControl, ZeroThrottledRateOnlyMarksResidency)
+{
+    // throttledLs == 0 means "no throttled operating point measured":
+    // the dispatcher still tracks residency, but rates never change, so
+    // the outcome is identical to ignoring the throttle decision.
+    DispatchConfig cfg = throttleConfig();
+    for (ModeRates &r : cfg.rates)
+        r.throttledLs = 0.0;
+    DispatchOutcome marked = dispatchRequests(cfg);
+    cfg.control.honorThrottle = false;
+    DispatchOutcome ignored = dispatchRequests(cfg);
+
+    EXPECT_GT(marked.totalThrottleMs(), 0.0);
+    EXPECT_EQ(marked.latencyMs.p99, ignored.latencyMs.p99);
+    EXPECT_EQ(marked.placed, ignored.placed);
+}
+
+// ---- Diurnal load replay ----------------------------------------------
+
+TEST(DiurnalDispatch, TimelineFollowsTheTraceDeterministically)
+{
+    DispatchConfig cfg;
+    cfg.rates = {ModeRates::flat(2.0), ModeRates::flat(2.0)};
+    cfg.policy = PlacementPolicy::LeastLoaded;
+    cfg.seed = 77;
+    cfg.diurnalTrace = queueing::DiurnalTrace::webSearchCluster();
+    cfg.msPerHour = 20.0;
+    cfg.timelineBucketMs = 20.0; // one bucket per replayed hour
+    cfg.arrivalRatePerMs = 3.5;  // peak rate, below capacity
+    // Enough arrivals to cover a full replayed day at the mean rate.
+    cfg.requests = static_cast<std::uint64_t>(
+        cfg.arrivalRatePerMs * cfg.diurnalTrace->meanLoad() * 24.0 *
+        cfg.msPerHour);
+
+    DispatchOutcome a = dispatchRequests(cfg);
+    DispatchOutcome b = dispatchRequests(cfg);
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_EQ(a.latencyMs.p99, b.latencyMs.p99);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+
+    // The timeline partitions every completion and mirrors the trace:
+    // the midday plateau (hours 12-15) far outdraws the overnight trough
+    // (hours 2-5).
+    ASSERT_GE(a.timeline.size(), 22u);
+    std::uint64_t total = 0, night = 0, midday = 0;
+    for (std::size_t h = 0; h < a.timeline.size(); ++h) {
+        const TimelineBucket &tb = a.timeline[h];
+        EXPECT_EQ(tb.startMs, static_cast<double>(h) * 20.0);
+        EXPECT_EQ(tb.p50Ms, b.timeline[h].p50Ms);
+        total += tb.completions;
+        if (h >= 2 && h <= 5)
+            night += tb.completions;
+        if (h >= 12 && h <= 15)
+            midday += tb.completions;
+    }
+    EXPECT_EQ(total, cfg.requests);
+    EXPECT_LT(static_cast<double>(night),
+              0.75 * static_cast<double>(midday));
+    EXPECT_NEAR(a.timeline[14].loadFraction,
+                cfg.diurnalTrace->loadAt(14.5), 1e-12);
+}
+
+TEST(FleetDiurnal, ReplayWithThrottlingIsBitIdenticalAcrossThreads)
+{
+    FleetConfig fleet = homogeneousFleet(2, smallConfig());
+    fleet.policy = PlacementPolicy::LeastLoaded;
+    fleet.diurnalTrace = queueing::DiurnalTrace::youtubeCluster();
+    fleet.msPerHour = 15.0;
+    fleet.timelineBucketMs = 15.0;
+    fleet.requests = 3000;
+    fleet.modeControl.kind = ModePolicyKind::SlackDriven;
+    fleet.modeControl.quantumMs = 0.5;
+    fleet.modeControl.monitor.qosTarget = 1.0;
+
+    FleetConfig serial = fleet;
+    serial.threads = 1;
+    FleetConfig parallel = fleet;
+    parallel.threads = 0;
+    FleetResult a = runFleet(serial);
+    FleetResult b = runFleet(parallel);
+
+    EXPECT_EQ(a.dispatch.placed, b.dispatch.placed);
+    EXPECT_EQ(a.dispatch.latencyMs.p99, b.dispatch.latencyMs.p99);
+    EXPECT_EQ(a.effectiveBatchUipc, b.effectiveBatchUipc);
+    ASSERT_EQ(a.dispatch.timeline.size(), b.dispatch.timeline.size());
+    for (std::size_t h = 0; h < a.dispatch.timeline.size(); ++h) {
+        EXPECT_EQ(a.dispatch.timeline[h].completions,
+                  b.dispatch.timeline[h].completions);
+        EXPECT_EQ(a.dispatch.timeline[h].p99Ms,
+                  b.dispatch.timeline[h].p99Ms);
+        EXPECT_EQ(a.dispatch.timeline[h].throttledCoreMs,
+                  b.dispatch.timeline[h].throttledCoreMs);
+    }
+    for (std::size_t c = 0; c < a.dispatch.modeStats.size(); ++c) {
+        EXPECT_EQ(a.dispatch.modeStats[c].throttleMs,
+                  b.dispatch.modeStats[c].throttleMs);
+        EXPECT_EQ(a.dispatch.modeStats[c].throttleEngagements,
+                  b.dispatch.modeStats[c].throttleEngagements);
+        EXPECT_EQ(a.dispatch.modeStats[c].cpiOutliers,
+                  b.dispatch.modeStats[c].cpiOutliers);
+    }
+}
+
+TEST(FleetThrottle, ClosedLoopSuppressesBatchAndMovesTheTail)
+{
+    // The acceptance bar: against a never-throttle baseline over the same
+    // stream, honouring throttleCoRunner must measurably change batch
+    // throughput (suppressed while throttled) and the p99 tail.
+    FleetConfig fleet = homogeneousFleet(2, smallConfig());
+    fleet.policy = PlacementPolicy::LeastLoaded;
+    fleet.requests = 8000;
+    fleet.threads = 0;
+    fleet.modeControl.kind = ModePolicyKind::SlackDriven;
+    fleet.modeControl.quantumMs = 0.5;
+    // Tight sojourn target at the default 70%-of-capacity load: the
+    // ladder violates, steps to Q-mode, and orders throttling.
+    fleet.modeControl.monitor.qosTarget = 0.8;
+
+    FleetResult throttled = runFleet(fleet);
+    FleetConfig never = fleet;
+    never.modeControl.honorThrottle = false;
+    FleetResult baseline = runFleet(never);
+
+    // The whole comparison is thread-count independent: a serial rerun
+    // of the throttled fleet reproduces it bit for bit.
+    FleetConfig serial = fleet;
+    serial.threads = 1;
+    FleetResult repeat = runFleet(serial);
+    EXPECT_EQ(repeat.effectiveBatchUipc, throttled.effectiveBatchUipc);
+    EXPECT_EQ(repeat.dispatch.latencyMs.p99,
+              throttled.dispatch.latencyMs.p99);
+    EXPECT_EQ(repeat.dispatch.totalThrottleMs(),
+              throttled.dispatch.totalThrottleMs());
+
+    ASSERT_GT(throttled.dispatch.totalThrottleEngagements(), 0u);
+    ASSERT_GT(throttled.dispatch.totalThrottleMs(), 0.0);
+    EXPECT_EQ(baseline.dispatch.totalThrottleMs(), 0.0);
+
+    // The throttled operating point was measured: LS gains capacity over
+    // Q-mode, the batch side collapses below every mode's rate.
+    for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_GT(throttled.modeRates[c].throttledLs,
+                  throttled.modeRates[c].qmode);
+        EXPECT_GT(throttled.modeRates[c].throttledLs, 0.0);
+        const FleetResult::BatchOperatingPoints &bp =
+            throttled.batchPoints[c];
+        EXPECT_GT(bp.throttled, 0.0);
+        for (double by_mode : bp.byMode)
+            EXPECT_LT(bp.throttled, by_mode);
+    }
+
+    // Batch throughput is measurably suppressed and the tail moves.
+    EXPECT_LT(throttled.effectiveBatchUipc, baseline.effectiveBatchUipc);
+    EXPECT_LT(throttled.dispatch.latencyMs.p99,
+              baseline.dispatch.latencyMs.p99);
+}
+
+TEST(FleetHeterogeneous, SlotsShapeMeasuredCapacity)
+{
+    RunConfig base = smallConfig();
+    std::vector<CoreSlot> slots(2);
+    slots[1].robEntries = 96; // a little core: half the window
+    slots[1].lsqEntries = 32;
+    slots[1].bmodeSkew = SkewConfig{28, 68};
+    slots[1].qmodeSkew = SkewConfig{68, 28};
+
+    FleetConfig fleet = heterogeneousFleet(base, slots);
+    fleet.policy = PlacementPolicy::LeastLoaded;
+    fleet.requests = 3000;
+    fleet.threads = 0;
+    fleet.modeControl.kind = ModePolicyKind::SlackDriven;
+    fleet.modeControl.monitor.qosTarget = 1.0;
+
+    FleetResult r = runFleet(fleet);
+
+    // The little core's window halves, so every measured operating point
+    // sits below the big core's.
+    EXPECT_LT(r.modeRates[1].baseline, r.modeRates[0].baseline);
+    EXPECT_LT(r.modeRates[1].qmode, r.modeRates[0].qmode);
+    EXPECT_LT(r.modeRates[1].throttledLs, r.modeRates[0].throttledLs);
+    // Per-slot skews preserve the Stretch ordering within each class.
+    for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_LT(r.modeRates[c].bmode, r.modeRates[c].baseline);
+        EXPECT_GT(r.modeRates[c].qmode, r.modeRates[c].bmode);
+    }
+    // The load-aware dispatcher leans on the faster big core.
+    EXPECT_GT(r.dispatch.placed[0], r.dispatch.placed[1]);
+}
+
 TEST(FleetDynamicModes, ClosedLoopIsBitIdenticalSerialVsParallel)
 {
     FleetConfig fleet = homogeneousFleet(3, smallConfig());

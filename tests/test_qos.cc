@@ -277,5 +277,39 @@ TEST(Monitor, EvaluateTailDirectFeed)
     EXPECT_EQ(mon.evaluateTail(120.0).mode, StretchMode::QosBoost);
 }
 
+TEST(Monitor, CpiOutlierFastPathsThrottle)
+{
+    // Without CPI signal, a single violating window only steps the mode.
+    Cpi2Monitor slow(monitorConfig());
+    MonitorDecision d = slow.evaluateTail(120.0);
+    EXPECT_FALSE(d.throttleCoRunner);
+
+    // With an antagonist named by the CPI outlier detector, the same
+    // violating window throttles immediately — the corrective action
+    // skips the remaining tolerance windows.
+    Cpi2Monitor fast(monitorConfig());
+    for (int i = 0; i < 32; ++i)
+        fast.recordCpi(1.0 + 0.01 * (i % 5));
+    fast.recordCpi(3.0);
+    ASSERT_TRUE(fast.cpiOutlier());
+    d = fast.evaluateTail(120.0);
+    EXPECT_TRUE(d.throttleCoRunner);
+    EXPECT_EQ(fast.throttleEngagements(), 1u);
+}
+
+TEST(Monitor, ThrottleEngagementsCountDistinctEngages)
+{
+    Cpi2Monitor mon(monitorConfig());
+    for (int i = 0; i < 4; ++i)
+        mon.evaluateTail(150.0); // violations -> throttle
+    ASSERT_TRUE(mon.current().throttleCoRunner);
+    EXPECT_EQ(mon.throttleEngagements(), 1u); // held, not re-engaged
+    mon.evaluateTail(20.0); // recovery lifts the throttle
+    EXPECT_FALSE(mon.current().throttleCoRunner);
+    for (int i = 0; i < 4; ++i)
+        mon.evaluateTail(150.0);
+    EXPECT_EQ(mon.throttleEngagements(), 2u);
+}
+
 } // namespace
 } // namespace stretch

@@ -5,6 +5,7 @@
  * peak-load/slack studies, and the diurnal traces.
  */
 
+#include <array>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -110,6 +111,65 @@ TEST(ArrivalProcess, MmppVariantMatchesRawMmpp)
     Rng a(13), b(13);
     MmppArrivals raw(1.0, 4.0, 100.0, 20.0);
     ArrivalProcess wrapped = ArrivalProcess::mmpp(1.0, 4.0, 100.0, 20.0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(wrapped.next(a), raw.next(b));
+}
+
+TEST(Arrivals, DiurnalMeanRateIsPeakTimesMeanLoad)
+{
+    auto trace = DiurnalTrace::webSearchCluster();
+    const double peak = 2.0, ms_per_hour = 100.0;
+    DiurnalArrivals arr(peak, trace, ms_per_hour);
+    Rng rng(17);
+    // Count arrivals over exactly five replayed days: thinning realises
+    // rate peak * loadAt(t), whose day-average is peak * meanLoad.
+    const double horizon = 5.0 * 24.0 * ms_per_hour;
+    double t = 0.0;
+    std::uint64_t count = 0;
+    for (;;) {
+        t += arr.next(rng);
+        if (t >= horizon)
+            break;
+        ++count;
+    }
+    double expected = peak * trace.meanLoad() * horizon;
+    EXPECT_NEAR(static_cast<double>(count), expected, 0.05 * expected);
+}
+
+TEST(Arrivals, DiurnalNightIsLighterThanMidday)
+{
+    auto trace = DiurnalTrace::webSearchCluster();
+    DiurnalArrivals arr(3.0, trace, 50.0);
+    Rng rng(23);
+    // Arrivals binned by replayed hour-of-day across several days: the
+    // overnight trough (02:00-05:00) must draw far fewer requests than
+    // the midday plateau (12:00-15:00).
+    std::array<std::uint64_t, 24> byHour{};
+    double t = 0.0;
+    while (t < 4.0 * 24.0 * 50.0) {
+        t += arr.next(rng);
+        byHour[static_cast<std::size_t>(std::fmod(t / 50.0, 24.0))] += 1;
+    }
+    std::uint64_t night = byHour[2] + byHour[3] + byHour[4];
+    std::uint64_t midday = byHour[12] + byHour[13] + byHour[14];
+    EXPECT_LT(static_cast<double>(night), 0.6 * static_cast<double>(midday));
+}
+
+TEST(Arrivals, DiurnalIsDeterministicInSeed)
+{
+    auto trace = DiurnalTrace::youtubeCluster();
+    DiurnalArrivals a(2.0, trace, 40.0), b(2.0, trace, 40.0);
+    Rng ra(31), rb(31);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_EQ(a.next(ra), b.next(rb));
+}
+
+TEST(ArrivalProcess, DiurnalVariantMatchesRawDiurnal)
+{
+    auto trace = DiurnalTrace::webSearchCluster();
+    Rng a(37), b(37);
+    DiurnalArrivals raw(1.5, trace, 60.0);
+    ArrivalProcess wrapped = ArrivalProcess::diurnal(1.5, trace, 60.0);
     for (int i = 0; i < 1000; ++i)
         EXPECT_EQ(wrapped.next(a), raw.next(b));
 }
@@ -402,6 +462,18 @@ TEST(Diurnal, InterpolationIsPiecewiseLinear)
     auto trace = DiurnalTrace::youtubeCluster();
     double a = trace.hourly()[3], b = trace.hourly()[4];
     EXPECT_NEAR(trace.loadAt(3.5), (a + b) / 2, 1e-9);
+}
+
+TEST(Diurnal, MeanLoadMatchesNumericIntegral)
+{
+    auto trace = DiurnalTrace::webSearchCluster();
+    double integral = 0.0;
+    const double step = 0.005;
+    for (double h = 0.0; h < 24.0; h += step)
+        integral += trace.loadAt(h) * step / 24.0;
+    EXPECT_NEAR(trace.meanLoad(), integral, 1e-3);
+    EXPECT_GT(trace.meanLoad(), 0.0);
+    EXPECT_LE(trace.meanLoad(), 1.0);
 }
 
 } // namespace

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every *.md file under the repo tree (skipping .git and build
+directories) for inline links (including image links)
+and reference definitions, and verifies that relative targets
+(optionally with a #fragment) exist on disk. External links
+(http/https/mailto) are ignored; fragments are checked against the
+target file's headings.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {".git", "build", ".cache"}
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as fh:
+        return {slugify(h) for h in HEADING_RE.findall(fh.read())}
+
+
+def markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    errors = []
+    for md in markdown_files(root):
+        with open(md, encoding="utf-8") as fh:
+            text = fh.read()
+        targets = LINK_RE.findall(text) + REF_RE.findall(text)
+        for target in targets:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            path, _, fragment = target.partition("#")
+            rel = os.path.relpath(md, root)
+            if not path:  # same-file fragment
+                if fragment and slugify(fragment) not in anchors_of(md):
+                    errors.append(f"{rel}: missing anchor '#{fragment}'")
+                continue
+            dest = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            if not os.path.exists(dest):
+                errors.append(f"{rel}: broken link '{target}'")
+            elif fragment and dest.endswith(".md"):
+                if slugify(fragment) not in anchors_of(dest):
+                    errors.append(
+                        f"{rel}: missing anchor '{target}'")
+    for err in errors:
+        print(f"error: {err}")
+    if not errors:
+        print("all intra-repo markdown links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
