@@ -4,8 +4,8 @@
 #include <iostream>
 #include <map>
 #include <mutex>
-#include <sstream>
 
+#include "sim/op_point_cache.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 #include "workload/profiles.h"
@@ -52,49 +52,13 @@ baseConfig(const Options &opt)
     return cfg;
 }
 
-namespace
-{
-
-std::string
-configKey(const sim::RunConfig &c)
-{
-    std::ostringstream os;
-    os << c.workload0 << '|' << c.workload1 << '|' << c.shareL1i
-       << c.shareL1d << c.shareBp << '|' << int(c.rob.kind) << ':'
-       << c.rob.limit0 << ':' << c.rob.limit1 << '|' << int(c.fetchPolicy)
-       << ':' << c.throttleRatio << ':' << unsigned(c.throttledThread) << '|'
-       << c.robEntries << ':' << c.lsqEntries << '|'
-       << c.isolatedRobOverride << '|' << c.samples << ':' << c.warmupOps
-       << ':' << c.measureOps << ':' << c.seed;
-    return os.str();
-}
-
-// The memo is shared between serial cachedRun calls and warmCache's pool
-// workers; the mutex covers lookup and insertion. std::map never
-// invalidates references on insert, so returned references stay valid.
-std::mutex memoMutex;
-std::map<std::string, sim::RunResult> &
-memo()
-{
-    static std::map<std::string, sim::RunResult> m;
-    return m;
-}
-
-} // namespace
-
+// Bench memoisation delegates to the process-wide OperatingPointCache,
+// so figure benches and runFleet's operating-point measurements share
+// one memo: a core a fleet already measured is a cache hit here too.
 const sim::RunResult &
 cachedRun(const sim::RunConfig &cfg)
 {
-    std::string key = configKey(cfg);
-    {
-        std::lock_guard<std::mutex> lock(memoMutex);
-        auto it = memo().find(key);
-        if (it != memo().end())
-            return it->second;
-    }
-    sim::RunResult result = sim::run(cfg);
-    std::lock_guard<std::mutex> lock(memoMutex);
-    return memo().emplace(key, result).first->second;
+    return sim::OperatingPointCache::instance().measure(cfg);
 }
 
 void
@@ -104,14 +68,13 @@ warmCache(const std::vector<sim::RunConfig> &cfgs, const std::string &label)
     // misses run on one pool worker per hardware thread. Each simulation
     // is deterministic in its config alone, so the pool schedule cannot
     // change a result, only the wall-clock.
+    sim::OperatingPointCache &cache = sim::OperatingPointCache::instance();
     std::vector<const sim::RunConfig *> misses;
     {
-        std::lock_guard<std::mutex> lock(memoMutex);
         std::map<std::string, const sim::RunConfig *> plan;
         for (const sim::RunConfig &cfg : cfgs) {
-            std::string key = configKey(cfg);
-            if (memo().find(key) == memo().end())
-                plan.emplace(key, &cfg);
+            if (!cache.contains(cfg))
+                plan.emplace(sim::OperatingPointCache::key(cfg), &cfg);
         }
         misses.reserve(plan.size());
         for (const auto &[key, cfg] : plan)

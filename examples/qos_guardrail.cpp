@@ -1,84 +1,118 @@
 /**
  * @file
- * QoS guardrail: demonstrates the CPI2-style monitor's full corrective
- * ladder on a simulated SMT core facing a load spike — B-mode under
- * slack, Q-mode as the spike builds, co-runner throttling when violations
- * persist, and recovery afterwards.
+ * QoS guardrail, fleet edition: two service classes with different SLOs
+ * — tier-0 interactive "search" and sheddable bulk "analytics" — share a
+ * heterogeneous Stretch fleet (2 big + 2 little cores) with batch
+ * co-runners riding along. The class-aware router pins search to the big
+ * cores and keeps analytics off them; per-class CPI²-style monitors walk
+ * the Stretch ladder against each class's own SLO, so the tightest class
+ * on a core drives its mode register and co-runner throttle.
+ *
+ * Printed: per-class latency percentiles and SLO attainment under
+ * class-aware routing vs. class-blind round-robin over the same tagged
+ * request stream, plus the fleet's mode/throttle residency. The second
+ * fleet run reuses the first run's measured operating points via the
+ * process-wide OperatingPointCache.
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "qos/cpi2_monitor.h"
-#include "qos/stretch_controller.h"
-#include "workload/generator.h"
-#include "workload/profiles.h"
+#include "sim/fleet.h"
+#include "sim/op_point_cache.h"
 
 using namespace stretch;
+
+namespace
+{
+
+void
+printPerClass(const char *label, const sim::DispatchOutcome &d)
+{
+    std::printf("%s\n", label);
+    std::printf("  %-10s %9s %7s %9s %9s %9s %11s\n", "class", "SLO(ms)",
+                "shed", "p50(ms)", "p99(ms)", "tail(ms)", "attainment");
+    for (const sim::ClassOutcome &co : d.perClass) {
+        std::printf("  %-10s %9.2f %7llu %9.3f %9.3f %9.3f %10.1f%% %s\n",
+                    co.name.c_str(), co.sloTargetMs,
+                    static_cast<unsigned long long>(co.shed),
+                    co.latencyMs.median, co.latencyMs.p99, co.tailMs,
+                    100.0 * co.sloAttainment, co.sloMet() ? "MET" : "MISS");
+    }
+}
+
+} // namespace
 
 int
 main()
 {
-    // Build a machine: web_search (thread 0) + mcf (thread 1).
-    HierarchyConfig hcfg;
-    hcfg.llcWayPartition = {8, 8};
-    MemoryHierarchy mem(hcfg);
-    BranchUnit bp;
-    SmtCore core(CoreParams{}, mem, bp);
-    TraceGenerator ls(workloads::byName("web_search"), 1, 0);
-    TraceGenerator batch(workloads::byName("mcf"), 2, 1);
-    mem.prefillLlc(0, ls.steadyStateBlocks());
-    mem.prefillLlc(1, batch.steadyStateBlocks());
-    core.attachThread(0, &ls);
-    core.attachThread(1, &batch);
+    // A small-but-real fleet: web_search + mcf on two big (192-entry
+    // ROB) cores, web_search + zeusmp on two little (128-entry) cores.
+    sim::RunConfig base;
+    base.workload0 = "web_search";
+    base.workload1 = "mcf";
+    base.samples = 2;
+    base.warmupOps = 4000;
+    base.measureOps = 10000;
 
-    StretchController controller(core, /*ls_thread=*/0);
-    MonitorConfig mc;
-    mc.qosTarget = 100.0; // ms, Web Search p99
-    Cpi2Monitor monitor(mc);
+    std::vector<sim::CoreSlot> slots(4);
+    slots[2].robEntries = slots[3].robEntries = 128;
+    slots[2].lsqEntries = slots[3].lsqEntries = 48;
+    slots[2].bmodeSkew = slots[3].bmodeSkew = SkewConfig{40, 88};
+    slots[2].qmodeSkew = slots[3].qmodeSkew = SkewConfig{88, 40};
 
-    // A synthetic day of tail-latency windows: quiet -> spike -> quiet.
-    std::vector<double> tails = {30, 35, 32,  40,  55,  70,  88,  97,
-                                 108, 125, 130, 118, 96, 80,  60,  45,
-                                 35,  30,  28,  30};
+    sim::FleetConfig fleet = sim::heterogeneousFleet(base, slots);
+    fleet.cores[2].workload1 = "zeusmp";
+    fleet.cores[3].workload1 = "zeusmp";
+    fleet.requests = 30000;
 
-    std::printf("%-8s %10s %10s %12s %10s %12s\n", "window", "tail(ms)",
-                "mode", "ROB (LS-B)", "throttle", "batch UIPC");
-    for (std::size_t w = 0; w < tails.size(); ++w) {
-        MonitorDecision d = monitor.evaluateTail(tails[w]);
-        controller.engage(d.mode);
+    // The two tenants: search must answer in 6 ms at p99; analytics
+    // tolerates 75 ms and may be shed under pressure.
+    fleet.classes =
+        workloads::ServiceClassRegistry::searchAnalyticsPair(6.0, 75.0);
 
-        // Throttling the co-runner = detaching it for the window (the
-        // CPI2 corrective action); here we emulate by freezing fetch via
-        // a Q-mode-style minimal share instead of full detach.
-        std::uint64_t batch_before = core.stats(1).committedOps;
-        Cycle cyc_before = core.now();
-        if (!d.throttleCoRunner) {
-            core.run(20000);
-        } else {
-            // CPI2 corrective action: deschedule the antagonist for the
-            // window (an OS context switch flushes its pipeline state).
-            core.flushAllThreads();
-            core.attachThread(1, nullptr);
-            core.run(20000);
-            core.flushAllThreads();
-            core.attachThread(1, &batch);
+    // Slack-driven control with per-class monitors: each core's ladder
+    // reacts to the tightest class it is serving.
+    fleet.modeControl.kind = sim::ModePolicyKind::SlackDriven;
+    fleet.modeControl.quantumMs = 0.5;
+
+    fleet.policy = sim::PlacementPolicy::ClassAware;
+    sim::FleetResult aware = sim::runFleet(fleet);
+
+    // Class-blind baseline over the same tagged stream (operating-point
+    // measurements are cache hits the second time around).
+    fleet.policy = sim::PlacementPolicy::RoundRobin;
+    sim::FleetResult blind = sim::runFleet(fleet);
+
+    std::printf("two-class fleet: 2 big + 2 little cores, search SLO "
+                "6 ms @ p99, analytics SLO 75 ms @ p95\n\n");
+    printPerClass("class-aware routing (hot class pinned to big cores):",
+                  aware.dispatch);
+    std::printf("\n");
+    printPerClass("class-blind round-robin (same tagged stream):",
+                  blind.dispatch);
+
+    const sim::DispatchOutcome &d = aware.dispatch;
+    double residency[sim::numStretchModes] = {};
+    double total = 0.0, throttled = 0.0;
+    for (const sim::CoreModeStats &m : d.modeStats) {
+        for (std::size_t i = 0; i < sim::numStretchModes; ++i) {
+            residency[i] += m.residencyMs[i];
+            total += m.residencyMs[i];
         }
-        double batch_uipc =
-            double(core.stats(1).committedOps - batch_before) /
-            double(core.now() - cyc_before);
-
-        std::printf("%-8zu %10.0f %10s %6u-%-6u %10s %12.3f\n", w,
-                    tails[w], toString(d.mode), core.rob().limit(0),
-                    core.rob().limit(1), d.throttleCoRunner ? "YES" : "-",
-                    batch_uipc);
+        throttled += m.throttleMs;
     }
-
-    std::printf("\nmode changes: %lu (each costs one %u-cycle pipeline "
-                "flush)\n",
-                static_cast<unsigned long>(controller.modeChanges()),
-                CoreParams{}.flushPenalty);
-    std::printf("QoS-violating windows: %lu\n",
-                static_cast<unsigned long>(monitor.violationWindows()));
+    std::printf("\nclass-aware fleet control: baseline %.0f%%, B-mode "
+                "%.0f%%, Q-mode %.0f%%, throttled %.0f%% of core-time, "
+                "%llu mode transitions, %llu throttle engagements\n",
+                100.0 * residency[0] / total, 100.0 * residency[1] / total,
+                100.0 * residency[2] / total, 100.0 * throttled / total,
+                static_cast<unsigned long long>(d.totalTransitions()),
+                static_cast<unsigned long long>(
+                    d.totalThrottleEngagements()));
+    std::printf("operating-point cache: %llu measured, %llu reused\n",
+                static_cast<unsigned long long>(
+                    sim::OperatingPointCache::instance().misses()),
+                static_cast<unsigned long long>(
+                    sim::OperatingPointCache::instance().hits()));
     return 0;
 }

@@ -59,6 +59,7 @@ EventEngine::drainUntil(double t, const Callbacks &cb)
                 Completion c;
                 c.index = p.index;
                 c.server = p.server;
+                c.classId = p.classId;
                 c.arrivalMs = p.arrivalMs;
                 c.startMs = p.startMs;
                 c.finishMs = p.finishMs;
@@ -95,14 +96,22 @@ EventEngine::run(std::uint64_t requests, const Callbacks &cb)
         double gap = cb.nextGap();
         STRETCH_ASSERT(gap >= 0.0, "negative interarrival gap");
         double t = now + gap;
-        double demand = cb.nextDemand();
+        std::uint32_t cls = cb.nextClass ? cb.nextClass() : 0;
+        double demand = cb.nextDemand(cls);
         STRETCH_ASSERT(demand >= 0.0, "negative demand");
 
         // Replay the simulated past before the new arrival acts on it.
         drainUntil(t, cb);
         now = t;
 
-        std::size_t s = cb.place(now, demand);
+        std::size_t s = cb.place(now, demand, cls);
+        if (s == shed) {
+            // Admission control dropped the request: nothing is booked
+            // and no completion will be delivered.
+            if (cb.onShed)
+                cb.onShed(i, now, demand, cls);
+            continue;
+        }
         STRETCH_ASSERT(s < srv.size(), "placement selected no server");
         double start = std::max(now, srv[s].freeAtMs);
         double finish = cb.finish(s, start, demand);
@@ -111,7 +120,7 @@ EventEngine::run(std::uint64_t requests, const Callbacks &cb)
         srv[s].busyMs += finish - start;
         ++srv[s].placed;
         elapsed = std::max(elapsed, finish);
-        pending.push({finish, i, s, now, start});
+        pending.push({finish, i, s, cls, now, start});
     }
     drainUntil(elapsed, cb);
 }

@@ -53,6 +53,7 @@ struct Completion
 {
     std::uint64_t index = 0;  ///< arrival sequence number
     std::size_t server = 0;   ///< server that executed the request
+    std::uint32_t classId = 0; ///< arrival tag (see Callbacks::nextClass)
     double arrivalMs = 0.0;
     double startMs = 0.0;
     double finishMs = 0.0;
@@ -87,22 +88,41 @@ class EventEngine
     {
         /** Next interarrival gap in milliseconds. */
         std::function<double()> nextGap;
-        /** Raw service demand of the next request (drawn after the gap,
-         *  before placement, so every policy sees one request stream). */
-        std::function<double()> nextDemand;
-        /** Choose the serving server for a request arriving at @p now. */
-        std::function<std::size_t(double now, double demand)> place;
+        /**
+         * Service-class tag of the next request (drawn after the gap,
+         * before the demand, so demand models may condition on the
+         * class). Optional: requests are tagged class 0 without it.
+         */
+        std::function<std::uint32_t()> nextClass;
+        /** Raw service demand of the next request of class @p cls (drawn
+         *  after the gap and class, before placement, so every policy
+         *  sees one request stream). */
+        std::function<double(std::uint32_t cls)> nextDemand;
+        /** Choose the serving server for a request of class @p cls
+         *  arriving at @p now, or return `EventEngine::shed` to drop it
+         *  at admission (no booking, no completion). */
+        std::function<std::size_t(double now, double demand,
+                                  std::uint32_t cls)>
+            place;
         /** Completion time of @p demand starting at @p start on @p server
          *  (applies service rates and/or duty-cycle modulation). */
         std::function<double(std::size_t server, double start, double demand)>
             finish;
         /** Invoked for every finished request, in finish-time order. */
         std::function<void(const Completion &)> onComplete;
+        /** Invoked for every request the placement callback shed. */
+        std::function<void(std::uint64_t index, double now, double demand,
+                           std::uint32_t cls)>
+            onShed;
         /** Invoked at every elapsed multiple of quantumMs (mode control). */
         std::function<void(double boundaryMs)> onQuantum;
         /** Control-quantum length; 0 disables onQuantum entirely. */
         double quantumMs = 0.0;
     };
+
+    /** Sentinel the place callback returns to shed (drop) a request at
+     *  admission instead of booking it on a server. */
+    static constexpr std::size_t shed = static_cast<std::size_t>(-1);
 
     explicit EventEngine(std::size_t servers);
 
@@ -141,6 +161,7 @@ class EventEngine
         double finishMs;
         std::uint64_t index;
         std::size_t server;
+        std::uint32_t classId;
         double arrivalMs;
         double startMs;
     };

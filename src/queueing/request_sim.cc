@@ -45,10 +45,12 @@ simulateService(const ServiceSpec &spec, double rate_per_ms,
     EventEngine engine(spec.workers);
     EventEngine::Callbacks cb;
     cb.nextGap = [&] { return arrivals.next(rng); };
-    cb.nextDemand = [&] {
+    cb.nextDemand = [&](std::uint32_t) {
         return rng.lognormal(mu, spec.logSigma) * knobs.perfScale;
     };
-    cb.place = [&](double, double) { return engine.leastFreeServer(); };
+    cb.place = [&](double, double, std::uint32_t) {
+        return engine.leastFreeServer();
+    };
     cb.finish = [&](std::size_t, double start, double demand) {
         return modulator.finish(start, demand);
     };

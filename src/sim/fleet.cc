@@ -7,6 +7,7 @@
 
 #include "queueing/arrivals.h"
 #include "queueing/event_engine.h"
+#include "sim/op_point_cache.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -18,11 +19,41 @@ namespace stretch::sim
 namespace
 {
 
-/** Dispatcher RNG stream tags (decorrelate arrivals, demands, and the
- *  power-of-two candidate draws from one another). */
+/** Dispatcher RNG stream tags (decorrelate arrivals, class tags,
+ *  demands, and the power-of-two candidate draws from one another). */
 constexpr std::uint64_t arrivalStream = 0xa221;
 constexpr std::uint64_t demandStream = 0xde3a;
 constexpr std::uint64_t placementStream = 0x9b1c;
+constexpr std::uint64_t classStream = 0xc1a5;
+
+/** Severity of a mode decision for combining per-class monitor votes:
+ *  the most QoS-protective decision wins on a shared core. */
+int
+modeSeverity(StretchMode mode)
+{
+    switch (mode) {
+    case StretchMode::BatchBoost:
+        return 0;
+    case StretchMode::Baseline:
+        return 1;
+    case StretchMode::QosBoost:
+        return 2;
+    }
+    return 1;
+}
+
+StretchMode
+modeForSeverity(int severity)
+{
+    switch (severity) {
+    case 0:
+        return StretchMode::BatchBoost;
+    case 2:
+        return StretchMode::QosBoost;
+    default:
+        return StretchMode::Baseline;
+    }
+}
 
 /**
  * The software side of one dynamically-controlled fleet core: a minimal
@@ -39,7 +70,15 @@ struct CoreControl
     StretchController ctrl;
     Cpi2Monitor monitor;
 
-    explicit CoreControl(const ModeControlConfig &mc)
+    /**
+     * One monitor per service class (class-tagged dispatch only), each
+     * targeting the class's own SLO at its own tail percentile, so the
+     * quantum decision can react to the tightest class on this core.
+     */
+    std::vector<Cpi2Monitor> classMonitors;
+
+    CoreControl(const ModeControlConfig &mc,
+                const workloads::ServiceClassRegistry &classes)
         : mem([] {
               // The control machine never executes instructions; keep its
               // uncore allocation tiny.
@@ -51,6 +90,13 @@ struct CoreControl
           bp(BranchUnitConfig{}), core(CoreParams{}, mem, bp),
           ctrl(core, 0, mc.bmodeSkew, mc.qmodeSkew), monitor(mc.monitor)
     {
+        classMonitors.reserve(classes.size());
+        for (const workloads::ServiceClass &cls : classes.all()) {
+            MonitorConfig per_class = mc.monitor;
+            per_class.qosTarget = cls.sloMs;
+            per_class.tailPercentile = cls.tailPercentile;
+            classMonitors.emplace_back(per_class);
+        }
     }
 };
 
@@ -60,14 +106,16 @@ const char *
 toString(PlacementPolicy policy)
 {
     switch (policy) {
-      case PlacementPolicy::RoundRobin:
+    case PlacementPolicy::RoundRobin:
         return "round-robin";
-      case PlacementPolicy::LeastLoaded:
+    case PlacementPolicy::LeastLoaded:
         return "least-loaded";
-      case PlacementPolicy::PowerOfTwo:
+    case PlacementPolicy::PowerOfTwo:
         return "power-of-two";
-      case PlacementPolicy::QosAware:
+    case PlacementPolicy::QosAware:
         return "qos-aware";
+    case PlacementPolicy::ClassAware:
+        return "class-aware";
     }
     return "?";
 }
@@ -76,11 +124,11 @@ const char *
 toString(ModePolicyKind kind)
 {
     switch (kind) {
-      case ModePolicyKind::Static:
+    case ModePolicyKind::Static:
         return "static";
-      case ModePolicyKind::BacklogHysteresis:
+    case ModePolicyKind::BacklogHysteresis:
         return "backlog-hysteresis";
-      case ModePolicyKind::SlackDriven:
+    case ModePolicyKind::SlackDriven:
         return "slack-driven";
     }
     return "?";
@@ -152,6 +200,10 @@ dispatchRequests(const DispatchConfig &cfg)
 
     const ModeControlConfig &mc = cfg.control;
     const bool dynamic = mc.kind != ModePolicyKind::Static;
+    const bool classesOn = !cfg.classes.empty();
+    STRETCH_ASSERT(cfg.policy != PlacementPolicy::ClassAware || classesOn,
+                   "class-aware placement needs a non-empty class "
+                   "registry");
     if (mc.kind == ModePolicyKind::BacklogHysteresis) {
         STRETCH_ASSERT(mc.engageBelowMs < mc.disengageAboveMs &&
                            mc.disengageAboveMs < mc.qmodeAboveMs,
@@ -202,6 +254,7 @@ dispatchRequests(const DispatchConfig &cfg)
     Rng arrivalsRng(cfg.seed, arrivalStream);
     Rng demandsRng(cfg.seed, demandStream);
     Rng placementRng(cfg.seed, placementStream);
+    Rng classRng(cfg.seed, classStream);
     queueing::ArrivalProcess arrivals = [&] {
         if (cfg.diurnalTrace) {
             // Diurnal replay: the offered rate is the PEAK rate; the trace
@@ -228,9 +281,21 @@ dispatchRequests(const DispatchConfig &cfg)
     std::vector<std::unique_ptr<CoreControl>> controls(n);
     if (dynamic) {
         for (std::size_t c : servingIdx)
-            controls[c] = std::make_unique<CoreControl>(mc);
+            controls[c] = std::make_unique<CoreControl>(mc, cfg.classes);
     }
     std::vector<double> segStartMs(n, 0.0);
+
+    // Class-aware routing (hot-class pinning + hour-aware reservation +
+    // per-class admission) over the baseline capacities.
+    std::unique_ptr<ClassRouter> router;
+    if (cfg.policy == PlacementPolicy::ClassAware) {
+        std::vector<double> baseline(n, 0.0);
+        for (std::size_t c = 0; c < n; ++c)
+            baseline[c] = cfg.rates[c].baseline;
+        router = std::make_unique<ClassRouter>(
+            cfg.classes, baseline, cfg.classRouting,
+            cfg.diurnalTrace ? &*cfg.diurnalTrace : nullptr, cfg.msPerHour);
+    }
 
     // Co-runner throttle state (the CPI² corrective action): engaged and
     // lifted by the SlackDriven monitor ladder at quantum boundaries.
@@ -244,16 +309,31 @@ dispatchRequests(const DispatchConfig &cfg)
 
     // Completion-timeline buckets (sized lazily as the run extends).
     const bool timelineOn = cfg.timelineBucketMs > 0.0;
+    const std::size_t numClasses = cfg.classes.size();
     std::vector<std::vector<double>> bucketLatencies;
     std::vector<double> bucketThrottleMs;
+    // Per-bucket per-class slices (class-tagged dispatch only).
+    std::vector<std::vector<std::vector<double>>> bucketClassLatencies;
+    std::vector<std::vector<std::uint64_t>> bucketClassShed;
     auto bucketAt = [&](double t) -> std::size_t {
         auto b = static_cast<std::size_t>(t / cfg.timelineBucketMs);
         if (bucketLatencies.size() <= b) {
             bucketLatencies.resize(b + 1);
             bucketThrottleMs.resize(b + 1, 0.0);
+            if (classesOn) {
+                bucketClassLatencies.resize(
+                    b + 1, std::vector<std::vector<double>>(numClasses));
+                bucketClassShed.resize(
+                    b + 1, std::vector<std::uint64_t>(numClasses, 0));
+            }
         }
         return b;
     };
+
+    // Per-class accounting: completed sojourns, SLO hits, shed counts.
+    std::vector<std::vector<double>> classLatencies(numClasses);
+    std::vector<std::uint64_t> classGood(numClasses, 0);
+    std::vector<std::uint64_t> classShed(numClasses, 0);
 
     queueing::EventEngine engine(n);
     std::vector<double> latencies;
@@ -262,21 +342,26 @@ dispatchRequests(const DispatchConfig &cfg)
 
     queueing::EventEngine::Callbacks cb;
     cb.nextGap = [&] { return arrivals.next(arrivalsRng); };
-    cb.nextDemand = [&] {
+    if (classesOn)
+        cb.nextClass = [&] { return cfg.classes.sample(classRng); };
+    cb.nextDemand = [&](std::uint32_t cls) {
+        if (classesOn)
+            return cfg.classes.drawDemand(cls, demandsRng);
         return cfg.demandLogSigma > 0.0
                    ? demandsRng.lognormal(demandMu, cfg.demandLogSigma)
                    : demandsRng.exponential(1.0);
     };
-    cb.place = [&](double now, double demand) -> std::size_t {
+    cb.place = [&](double now, double demand,
+                   std::uint32_t cls) -> std::size_t {
         switch (cfg.policy) {
-          case PlacementPolicy::RoundRobin: {
+        case PlacementPolicy::RoundRobin: {
             while (cfg.rates[rr_next % n].baseline <= 0.0)
                 ++rr_next;
             std::size_t target = rr_next % n;
             ++rr_next;
             return target;
-          }
-          case PlacementPolicy::LeastLoaded: {
+        }
+        case PlacementPolicy::LeastLoaded: {
             std::size_t target = n;
             double best = std::numeric_limits<double>::infinity();
             for (std::size_t c : servingIdx) {
@@ -287,8 +372,8 @@ dispatchRequests(const DispatchConfig &cfg)
                 }
             }
             return target;
-          }
-          case PlacementPolicy::PowerOfTwo: {
+        }
+        case PlacementPolicy::PowerOfTwo: {
             if (servingIdx.size() == 1)
                 return servingIdx.front();
             // Two distinct uniform candidates; shorter backlog wins,
@@ -304,8 +389,8 @@ dispatchRequests(const DispatchConfig &cfg)
             return engine.backlogMs(cb2, now) < engine.backlogMs(ca, now)
                        ? cb2
                        : ca;
-          }
-          case PlacementPolicy::QosAware: {
+        }
+        case PlacementPolicy::QosAware: {
             // Predicted sojourn time of THIS request on each core: queue
             // wait plus its own service time at the core's current speed.
             std::size_t target = n;
@@ -319,19 +404,41 @@ dispatchRequests(const DispatchConfig &cfg)
                 }
             }
             return target;
-          }
+        }
+        case PlacementPolicy::ClassAware:
+            // Hot-class pinning, hour-aware reservation, and per-class
+            // admission; may return EventEngine::shed.
+            return router->route(cls, now, demand, engine, rate);
         }
         return n; // unreachable; engine asserts
+    };
+    cb.onShed = [&](std::uint64_t, double now, double, std::uint32_t cls) {
+        ++classShed[cls];
+        if (timelineOn)
+            ++bucketClassShed[bucketAt(now)][cls];
     };
     cb.finish = [&](std::size_t s, double start, double demand) {
         return start + demand / rate[s];
     };
     cb.onComplete = [&](const queueing::Completion &c) {
         latencies.push_back(c.latencyMs());
-        if (timelineOn)
-            bucketLatencies[bucketAt(c.finishMs)].push_back(c.latencyMs());
+        if (classesOn) {
+            classLatencies[c.classId].push_back(c.latencyMs());
+            if (c.latencyMs() <= cfg.classes.at(c.classId).sloMs)
+                ++classGood[c.classId];
+        }
+        if (timelineOn) {
+            std::size_t b = bucketAt(c.finishMs);
+            bucketLatencies[b].push_back(c.latencyMs());
+            if (classesOn)
+                bucketClassLatencies[b][c.classId].push_back(c.latencyMs());
+        }
         if (controls[c.server]) {
-            Cpi2Monitor &mon = controls[c.server]->monitor;
+            // With classes, each class feeds its own monitor (targeting
+            // the class SLO); otherwise the core's single monitor.
+            Cpi2Monitor &mon =
+                classesOn ? controls[c.server]->classMonitors[c.classId]
+                          : controls[c.server]->monitor;
             mon.recordLatency(c.latencyMs());
             // CPI analogue: sojourn-over-service slowdown of this request.
             // Queueing caused by an antagonised (or overloaded) core
@@ -353,22 +460,22 @@ dispatchRequests(const DispatchConfig &cfg)
                 StretchMode next = mode[c];
                 bool wantThrottle = static_cast<bool>(throttled[c]);
                 switch (mc.kind) {
-                  case ModePolicyKind::BacklogHysteresis: {
+                case ModePolicyKind::BacklogHysteresis: {
                     double backlog = engine.backlogMs(c, t);
                     switch (mode[c]) {
-                      case StretchMode::BatchBoost:
+                    case StretchMode::BatchBoost:
                         if (backlog > mc.qmodeAboveMs)
                             next = StretchMode::QosBoost;
                         else if (backlog > mc.disengageAboveMs)
                             next = StretchMode::Baseline;
                         break;
-                      case StretchMode::Baseline:
+                    case StretchMode::Baseline:
                         if (backlog > mc.qmodeAboveMs)
                             next = StretchMode::QosBoost;
                         else if (backlog < mc.engageBelowMs)
                             next = StretchMode::BatchBoost;
                         break;
-                      case StretchMode::QosBoost:
+                    case StretchMode::QosBoost:
                         if (backlog < mc.engageBelowMs)
                             next = StretchMode::BatchBoost;
                         else if (backlog < mc.disengageAboveMs)
@@ -376,16 +483,36 @@ dispatchRequests(const DispatchConfig &cfg)
                         break;
                     }
                     break;
-                  }
-                  case ModePolicyKind::SlackDriven:
-                    if (cc.monitor.windowFill() > 0) {
+                }
+                case ModePolicyKind::SlackDriven:
+                    if (classesOn) {
+                        // One monitor per class, each judged against its
+                        // own SLO; the core follows the most severe vote
+                        // (the tightest class wins) and throttles when
+                        // any class's ladder orders it.
+                        int best_sev = -1;
+                        bool any_throttle = false;
+                        for (Cpi2Monitor &m : cc.classMonitors) {
+                            if (m.windowFill() == 0)
+                                continue;
+                            MonitorDecision d = m.evaluateWindowNow();
+                            best_sev =
+                                std::max(best_sev, modeSeverity(d.mode));
+                            any_throttle |= d.throttleCoRunner;
+                        }
+                        if (best_sev >= 0) {
+                            next = modeForSeverity(best_sev);
+                            wantThrottle =
+                                mc.honorThrottle && any_throttle;
+                        }
+                    } else if (cc.monitor.windowFill() > 0) {
                         MonitorDecision d = cc.monitor.evaluateWindowNow();
                         next = d.mode;
                         wantThrottle =
                             mc.honorThrottle && d.throttleCoRunner;
                     }
                     break;
-                  case ModePolicyKind::Static:
+                case ModePolicyKind::Static:
                     break;
                 }
                 CoreModeStats &ms = out.modeStats[c];
@@ -461,15 +588,55 @@ dispatchRequests(const DispatchConfig &cfg)
                     cfg.msPerHour);
             }
             tb.throttledCoreMs = bucketThrottleMs[b];
+            if (classesOn) {
+                tb.perClass.resize(numClasses);
+                for (std::size_t k = 0; k < numClasses; ++k) {
+                    TimelineBucket::ClassCell &cell = tb.perClass[k];
+                    cell.completions = bucketClassLatencies[b][k].size();
+                    cell.shed = bucketClassShed[b][k];
+                    if (!bucketClassLatencies[b][k].empty()) {
+                        cell.p99Ms = stats::percentile(
+                            bucketClassLatencies[b][k], 99.0);
+                    }
+                }
+            }
             out.timeline.push_back(tb);
         }
     }
 
-    out.latencyMs = stats::summarize(latencies);
-    out.throughputRps = out.elapsedMs > 0.0
-                            ? static_cast<double>(cfg.requests) /
-                                  (out.elapsedMs / 1000.0)
+    // Per-class reporting: latency distribution, tail at the class's own
+    // percentile, and SLO attainment over offered (completed + shed)
+    // requests — shedding counts as a miss.
+    if (classesOn) {
+        out.perClass.resize(numClasses);
+        for (std::size_t k = 0; k < numClasses; ++k) {
+            const workloads::ServiceClass &sc =
+                cfg.classes.at(static_cast<workloads::ClassId>(k));
+            ClassOutcome &co = out.perClass[k];
+            co.name = sc.name;
+            co.completed = classLatencies[k].size();
+            co.shed = classShed[k];
+            co.sloTargetMs = sc.sloMs;
+            co.tailPercentile = sc.tailPercentile;
+            co.latencyMs = stats::summarize(classLatencies[k]);
+            if (!classLatencies[k].empty()) {
+                co.tailMs = stats::percentile(classLatencies[k],
+                                              sc.tailPercentile);
+            }
+            std::uint64_t offered = co.completed + co.shed;
+            co.sloAttainment =
+                offered > 0 ? static_cast<double>(classGood[k]) /
+                                  static_cast<double>(offered)
                             : 0.0;
+            out.totalShed += co.shed;
+        }
+    }
+
+    out.latencyMs = stats::summarize(latencies);
+    out.throughputRps =
+        out.elapsedMs > 0.0
+            ? static_cast<double>(latencies.size()) / (out.elapsedMs / 1000.0)
+            : 0.0;
     return out;
 }
 
@@ -552,7 +719,14 @@ runFleet(const FleetConfig &cfg)
     // control every core is measured at all three operating points — plus
     // the fetch-throttled point when the monitor may throttle — with the
     // same seed (the paper's matched-sampling methodology), so the
-    // dispatcher knows the capacity each control action buys.
+    // dispatcher knows the capacity each control action buys. Repeat
+    // measurements of identical configurations are answered from the
+    // process-wide OperatingPointCache.
+    auto measure = [&](const RunConfig &rc) -> RunResult {
+        if (cfg.reuseOperatingPoints)
+            return OperatingPointCache::instance().measure(rc);
+        return run(rc);
+    };
     std::vector<RunResult> pointResults;
     if (dynamic) {
         pointResults.resize(n * points);
@@ -578,14 +752,14 @@ runFleet(const FleetConfig &cfg)
                     rc.throttleRatio = mc.throttleFetchRatio;
                     rc.throttledThread = 1;
                 }
-                pointResults[task] = run(rc);
+                pointResults[task] = measure(rc);
             });
         for (std::size_t i = 0; i < n; ++i)
             fleet.cores[i] =
                 pointResults[i * points + modeIndex(StretchMode::Baseline)];
     } else {
         ThreadPool::parallelFor(cfg.threads, n, [&](std::size_t i) {
-            fleet.cores[i] = run(slotConfig(i));
+            fleet.cores[i] = measure(slotConfig(i));
         });
     }
 
@@ -644,6 +818,8 @@ runFleet(const FleetConfig &cfg)
     dispatch.diurnalTrace = cfg.diurnalTrace;
     dispatch.msPerHour = cfg.msPerHour;
     dispatch.timelineBucketMs = cfg.timelineBucketMs;
+    dispatch.classes = cfg.classes;
+    dispatch.classRouting = cfg.classRouting;
     dispatch.control = cfg.modeControl;
     fleet.dispatch = dispatchRequests(dispatch);
 

@@ -30,6 +30,18 @@
  * replay a 24-hour `queueing::DiurnalTrace` as the arrival process and
  * mix heterogeneous (big/little ROB) core slots.
  *
+ * The LS stream itself can be multi-tenant: a `ServiceClassRegistry`
+ * tags every arrival with a service class (per-class demand
+ * distribution, SLO, priority tier, batch tolerance), the `ClassAware`
+ * placement policy routes through a `ClassRouter` (hot classes pinned to
+ * big cores, hour-aware reservation, per-class admission/shedding),
+ * per-core SlackDriven monitors track each class against its own SLO so
+ * the ladder reacts to the tightest class on the core, and
+ * `DispatchOutcome::perClass` reports per-class latency percentiles and
+ * SLO attainment. Operating-point measurements are memoised in the
+ * process-wide `OperatingPointCache`, so repeated fleet runs over
+ * identical cores skip the microarchitectural re-simulation.
+ *
  * Units: all simulated times (latencies, residencies, quanta, backlog)
  * are milliseconds; service rates are requests per millisecond; control
  * policies run at quantum boundaries (multiples of
@@ -49,8 +61,10 @@
 #include "qos/cpi2_monitor.h"
 #include "qos/stretch_controller.h"
 #include "queueing/diurnal.h"
+#include "sim/class_router.h"
 #include "sim/runner.h"
 #include "stats/summary.h"
+#include "workload/service_class.h"
 
 namespace stretch::sim
 {
@@ -63,6 +77,8 @@ enum class PlacementPolicy
     PowerOfTwo,  ///< two random candidates, shorter backlog wins (load-aware
                  ///< at O(1) cost; Mitzenmacher's power of two choices)
     QosAware,    ///< minimize this request's predicted completion latency
+    ClassAware,  ///< ClassRouter: pin hot classes to big cores, hour-aware
+                 ///< reservation, per-class admission (needs classes)
 };
 
 /** Human-readable policy name. */
@@ -111,12 +127,12 @@ struct ModeRates
     rate(StretchMode mode) const
     {
         switch (mode) {
-          case StretchMode::BatchBoost:
+        case StretchMode::BatchBoost:
             return bmode;
-          case StretchMode::QosBoost:
+        case StretchMode::QosBoost:
             return qmode;
-          case StretchMode::Baseline:
-          default:
+        case StretchMode::Baseline:
+        default:
             return baseline;
         }
     }
@@ -255,6 +271,21 @@ struct DispatchConfig
      */
     double timelineBucketMs = 0.0;
 
+    /**
+     * Request service classes. Empty keeps the historical untagged
+     * single-stream dispatch. Non-empty tags every arrival with a
+     * weighted class id, draws demands from the class's own distribution
+     * (demandLogSigma is then ignored), reports per-class latency and
+     * SLO attainment in `DispatchOutcome::perClass`, and — under
+     * SlackDriven control — gives every core one monitor per class with
+     * the class SLO as its target, so the mode ladder reacts to the
+     * tightest class on the core.
+     */
+    workloads::ServiceClassRegistry classes;
+
+    /** Routing/admission knobs for PlacementPolicy::ClassAware. */
+    ClassRouterConfig classRouting;
+
     ModeControlConfig control;
 };
 
@@ -271,6 +302,45 @@ struct TimelineBucket
     /** Core-milliseconds spent throttled inside the bucket (summed over
      *  cores, accumulated at quantum granularity). */
     double throttledCoreMs = 0.0;
+
+    /** Per-class slice of one timeline bucket. */
+    struct ClassCell
+    {
+        std::uint64_t completions = 0; ///< class completions in the bucket
+        std::uint64_t shed = 0;        ///< class arrivals shed in the bucket
+        double p99Ms = 0.0;            ///< class p99 sojourn in the bucket
+    };
+
+    /** Index-matched to the class registry; empty without classes. */
+    std::vector<ClassCell> perClass;
+};
+
+/** Per-class dispatch outcome (latency distribution + SLO attainment). */
+struct ClassOutcome
+{
+    std::string name;              ///< class name (from the registry)
+    std::uint64_t completed = 0;   ///< requests admitted and finished
+    std::uint64_t shed = 0;        ///< requests dropped at admission
+    stats::ViolinSummary latencyMs; ///< sojourn times of completed requests
+    double sloTargetMs = 0.0;      ///< the class SLO (from the registry)
+    double tailPercentile = 99.0;  ///< percentile the SLO binds at
+    /** Sojourn time at the class's own tail percentile. */
+    double tailMs = 0.0;
+    /**
+     * Fraction of *offered* requests (completed + shed) that met the
+     * SLO; a shed request counts as a miss, so shedding cannot game the
+     * attainment number.
+     */
+    double sloAttainment = 0.0;
+
+    /** Did the class meet its SLO at its tail percentile? Judged on
+     *  attainment over offered requests (at least tailPercentile% under
+     *  target), so shed requests count against the verdict too. */
+    bool
+    sloMet() const
+    {
+        return completed > 0 && sloAttainment >= tailPercentile / 100.0;
+    }
 };
 
 /** Outcome of dispatching a request stream over the fleet's cores. */
@@ -288,6 +358,13 @@ struct DispatchOutcome
 
     /** Per-bucket latency timeline (empty unless timelineBucketMs > 0). */
     std::vector<TimelineBucket> timeline;
+
+    /** Per-class outcomes, index-matched to the class registry (empty
+     *  without classes). */
+    std::vector<ClassOutcome> perClass;
+
+    /** Requests dropped at admission across all classes. */
+    std::uint64_t totalShed = 0;
 
     /** Sum of mode transitions across the fleet. */
     std::uint64_t totalTransitions() const;
@@ -364,6 +441,13 @@ struct FleetConfig
     double timelineBucketMs = 0.0;
     /// @}
 
+    /** Request service classes handed to the dispatcher (empty = the
+     *  historical untagged stream; see DispatchConfig::classes). */
+    workloads::ServiceClassRegistry classes;
+
+    /** Routing/admission knobs for PlacementPolicy::ClassAware. */
+    ClassRouterConfig classRouting;
+
     /**
      * Per-core dynamic Stretch mode control. Any non-Static policy (or a
      * non-Baseline static mode) makes runFleet measure each core's LS
@@ -371,6 +455,15 @@ struct FleetConfig
      * retime requests as the mode register flips.
      */
     ModeControlConfig modeControl;
+
+    /**
+     * Memoise operating-point measurements in the process-wide
+     * `OperatingPointCache`: a second runFleet over identical cores
+     * skips the microarchitectural re-simulation (results are
+     * bit-identical either way — `sim::run` is a pure function of its
+     * config). Disable to force fresh measurements.
+     */
+    bool reuseOperatingPoints = true;
 
     /** Pool workers for per-core simulations: 1 = serial, 0 = hardware. */
     unsigned threads = 0;

@@ -1,0 +1,92 @@
+#include "sim/op_point_cache.h"
+
+#include <sstream>
+
+namespace stretch::sim
+{
+
+OperatingPointCache &
+OperatingPointCache::instance()
+{
+    static OperatingPointCache cache;
+    return cache;
+}
+
+std::string
+OperatingPointCache::key(const RunConfig &c)
+{
+    // Every field that can change a simulation result, in declaration
+    // order; parallelism is excluded (bit-identical by construction) and
+    // the global quick factor is included (the runner scales sampling
+    // effort by it at run time).
+    std::ostringstream os;
+    os << c.workload0 << '|' << c.workload1 << '|' << c.shareL1i
+       << c.shareL1d << c.shareBp << '|' << int(c.rob.kind) << ':'
+       << c.rob.limit0 << ':' << c.rob.limit1 << '|' << int(c.fetchPolicy)
+       << ':' << c.throttleRatio << ':' << unsigned(c.throttledThread)
+       << '|' << c.robEntries << ':' << c.lsqEntries << '|'
+       << c.fullMachineWhenIsolated << ':' << c.isolatedRobOverride << '|'
+       << c.samples << ':' << c.warmupOps << ':' << c.warmupCycles << ':'
+       << c.measureOps << ':' << c.seed << '|' << quickFactor();
+    return os.str();
+}
+
+const RunResult &
+OperatingPointCache::measure(const RunConfig &cfg)
+{
+    std::string k = key(cfg);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = memo.find(k);
+        if (it != memo.end()) {
+            ++hitCount;
+            return it->second;
+        }
+    }
+    // Simulate outside the lock so pool workers measure in parallel. Two
+    // concurrent misses of one key both simulate the same deterministic
+    // result; emplace keeps the first and the duplicate is discarded.
+    RunResult result = run(cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    ++missCount;
+    return memo.emplace(std::move(k), result).first->second;
+}
+
+bool
+OperatingPointCache::contains(const RunConfig &cfg) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return memo.find(key(cfg)) != memo.end();
+}
+
+std::uint64_t
+OperatingPointCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return hitCount;
+}
+
+std::uint64_t
+OperatingPointCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return missCount;
+}
+
+std::size_t
+OperatingPointCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return memo.size();
+}
+
+void
+OperatingPointCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    memo.clear();
+    hitCount = 0;
+    missCount = 0;
+}
+
+} // namespace stretch::sim

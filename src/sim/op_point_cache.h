@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Process-wide memoisation of measured core operating points.
+ *
+ * `runFleet` measures every core's LS capacity and batch UIPC by running
+ * a full microarchitectural simulation per operating point — by far the
+ * dominant cost of a fleet experiment. Those simulations are pure
+ * functions of their `RunConfig` (plus the global quick factor), so
+ * sweeping benches that run many fleet variants over identical cores
+ * (e.g. `bench_fig15_diurnal_fleet`'s static / slack / throttle
+ * variants) used to re-simulate the same configurations once per
+ * variant. The cache keys results on the full configuration and returns
+ * the memoised `RunResult` on a repeat measurement.
+ *
+ * The key deliberately excludes `RunConfig::parallelism`: sample-level
+ * parallelism is bit-identical to serial execution by construction, so
+ * it cannot change the result. It *includes* the global
+ * `sim::quickFactor()` because the runner scales its sampling effort by
+ * it at run time.
+ *
+ * Thread-safety: all entry points are mutex-guarded; concurrent misses
+ * of the same key both simulate (the duplicate result is discarded), so
+ * correctness never depends on the pool schedule. Returned references
+ * stay valid until `clear()` (std::map never invalidates on insert).
+ */
+
+#ifndef STRETCH_SIM_OP_POINT_CACHE_H
+#define STRETCH_SIM_OP_POINT_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/runner.h"
+
+namespace stretch::sim
+{
+
+/** Memoising cache of `sim::run` results, keyed by configuration. */
+class OperatingPointCache
+{
+  public:
+    /** The process-wide instance every fleet/bench measurement shares. */
+    static OperatingPointCache &instance();
+
+    /**
+     * Memoised `sim::run(cfg)`: a repeat measurement of an identical
+     * configuration returns the cached result without re-simulating.
+     * The reference stays valid until clear().
+     */
+    const RunResult &measure(const RunConfig &cfg);
+
+    /** True when a measurement of @p cfg is already cached. */
+    bool contains(const RunConfig &cfg) const;
+
+    /** Cache key of a configuration (exposed for tests). */
+    static std::string key(const RunConfig &cfg);
+
+    /// @name Instrumentation.
+    /// @{
+    std::uint64_t hits() const;   ///< measurements answered from cache
+    std::uint64_t misses() const; ///< measurements that simulated
+    std::size_t size() const;     ///< distinct configurations cached
+    /// @}
+
+    /** Drop every entry and reset the counters (tests that must observe
+     *  two real measurements call this between runs). */
+    void clear();
+
+  private:
+    OperatingPointCache() = default;
+
+    mutable std::mutex mu;
+    std::map<std::string, RunResult> memo;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace stretch::sim
+
+#endif // STRETCH_SIM_OP_POINT_CACHE_H

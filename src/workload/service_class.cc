@@ -1,0 +1,138 @@
+#include "workload/service_class.h"
+
+#include "util/log.h"
+
+namespace stretch::workloads
+{
+
+const char *
+toString(DemandShape shape)
+{
+    switch (shape) {
+    case DemandShape::Fixed:
+        return "fixed";
+    case DemandShape::Lognormal:
+        return "lognormal";
+    case DemandShape::Pareto:
+        return "pareto";
+    }
+    return "?";
+}
+
+ClassId
+ServiceClassRegistry::add(ServiceClass cls)
+{
+    STRETCH_ASSERT(!cls.name.empty(), "service class needs a name");
+    STRETCH_ASSERT(cls.weight > 0.0, "class weight must be positive");
+    STRETCH_ASSERT(cls.meanDemand > 0.0, "class mean demand must be "
+                                         "positive");
+    STRETCH_ASSERT(cls.logSigma >= 0.0, "negative lognormal sigma");
+    STRETCH_ASSERT(cls.shape != DemandShape::Pareto || cls.paretoAlpha > 1.0,
+                   "pareto demands need a tail index > 1 for a finite mean");
+    STRETCH_ASSERT(cls.batchTolerance >= 0.0 && cls.batchTolerance <= 1.0,
+                   "batch tolerance must be in [0, 1]");
+    STRETCH_ASSERT(cls.sloMs > 0.0, "SLO target must be positive");
+    STRETCH_ASSERT(cls.tailPercentile > 0.0 && cls.tailPercentile <= 100.0,
+                   "tail percentile must be in (0, 100]");
+    for (const ServiceClass &existing : classes) {
+        STRETCH_ASSERT(existing.name != cls.name,
+                       "duplicate service class '", cls.name, "'");
+    }
+    weightSum += cls.weight;
+    classes.push_back(std::move(cls));
+    return static_cast<ClassId>(classes.size() - 1);
+}
+
+const ServiceClass &
+ServiceClassRegistry::at(ClassId id) const
+{
+    STRETCH_ASSERT(id < classes.size(), "bad service class id ", id);
+    return classes[id];
+}
+
+ClassId
+ServiceClassRegistry::byName(const std::string &name) const
+{
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        if (classes[i].name == name)
+            return static_cast<ClassId>(i);
+    }
+    STRETCH_FATAL("unknown service class '", name, "'");
+}
+
+ClassId
+ServiceClassRegistry::sample(Rng &rng) const
+{
+    STRETCH_ASSERT(!classes.empty(), "sampling an empty class registry");
+    // Cumulative scan over the (small) class list: deterministic in the
+    // single uniform draw and stable under class insertion order.
+    double u = rng.uniform() * weightSum;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        cum += classes[i].weight;
+        if (u < cum)
+            return static_cast<ClassId>(i);
+    }
+    return static_cast<ClassId>(classes.size() - 1);
+}
+
+double
+ServiceClassRegistry::drawDemand(ClassId id, Rng &rng) const
+{
+    const ServiceClass &c = at(id);
+    switch (c.shape) {
+    case DemandShape::Fixed:
+        return c.meanDemand;
+    case DemandShape::Lognormal: {
+        // exp(N(-sigma^2/2, sigma)) has unit mean; scale to the class.
+        double mu = -c.logSigma * c.logSigma / 2.0;
+        return c.meanDemand * rng.lognormal(mu, c.logSigma);
+    }
+    case DemandShape::Pareto: {
+        // Pareto(xm, alpha) has mean alpha*xm/(alpha-1); pick xm for a
+        // unit mean and draw by inversion: xm * u^(-1/alpha).
+        double xm = (c.paretoAlpha - 1.0) / c.paretoAlpha;
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return c.meanDemand * xm * std::pow(u, -1.0 / c.paretoAlpha);
+    }
+    }
+    return c.meanDemand;
+}
+
+ServiceClassRegistry
+ServiceClassRegistry::searchAnalyticsPair(double tight_slo_ms,
+                                          double loose_slo_ms)
+{
+    ServiceClassRegistry reg;
+
+    ServiceClass search;
+    search.name = "search";
+    search.shape = DemandShape::Lognormal;
+    search.logSigma = 0.40;
+    search.sloMs = tight_slo_ms;
+    search.tailPercentile = 99.0;
+    search.priority = 0;
+    search.batchTolerance = 0.3;
+    search.sheddable = false;
+    search.weight = 1.0;
+    reg.add(search);
+
+    ServiceClass analytics;
+    analytics.name = "analytics";
+    analytics.shape = DemandShape::Pareto;
+    analytics.paretoAlpha = 2.2;
+    analytics.meanDemand = 1.5; // bulk queries run longer
+    analytics.sloMs = loose_slo_ms;
+    analytics.tailPercentile = 95.0;
+    analytics.priority = 1;
+    analytics.batchTolerance = 0.9;
+    analytics.sheddable = true;
+    analytics.weight = 0.5; // bulk is a minority of the request mix
+    reg.add(analytics);
+
+    return reg;
+}
+
+} // namespace stretch::workloads

@@ -9,12 +9,21 @@
 #include <gtest/gtest.h>
 
 #include "sim/fleet.h"
+#include "sim/op_point_cache.h"
 #include "sim/runner.h"
 
 namespace stretch::sim
 {
 namespace
 {
+
+/** Force the next runFleet to really re-measure: determinism tests
+ *  compare two *fresh* runs, not a run against its own memo. */
+void
+clearOperatingPoints()
+{
+    OperatingPointCache::instance().clear();
+}
 
 /** Small-but-real colocation config so fleet tests stay fast. */
 RunConfig
@@ -57,6 +66,7 @@ TEST(FleetDeterminism, SerialAndParallelAreBitIdentical)
     parallel.threads = 4;
 
     FleetResult a = runFleet(serial);
+    clearOperatingPoints();
     FleetResult b = runFleet(parallel);
 
     ASSERT_EQ(a.cores.size(), b.cores.size());
@@ -88,6 +98,7 @@ TEST(FleetDeterminism, SameSeedSameResults)
     FleetConfig fleet = homogeneousFleet(2, smallConfig());
     fleet.requests = 1000;
     FleetResult a = runFleet(fleet);
+    clearOperatingPoints();
     FleetResult b = runFleet(fleet);
     for (std::size_t i = 0; i < a.cores.size(); ++i)
         expectIdentical(a.cores[i], b.cores[i]);
@@ -587,6 +598,7 @@ TEST(FleetDiurnal, ReplayWithThrottlingIsBitIdenticalAcrossThreads)
     FleetConfig parallel = fleet;
     parallel.threads = 0;
     FleetResult a = runFleet(serial);
+    clearOperatingPoints();
     FleetResult b = runFleet(parallel);
 
     EXPECT_EQ(a.dispatch.placed, b.dispatch.placed);
@@ -635,6 +647,7 @@ TEST(FleetThrottle, ClosedLoopSuppressesBatchAndMovesTheTail)
     // of the throttled fleet reproduces it bit for bit.
     FleetConfig serial = fleet;
     serial.threads = 1;
+    clearOperatingPoints();
     FleetResult repeat = runFleet(serial);
     EXPECT_EQ(repeat.effectiveBatchUipc, throttled.effectiveBatchUipc);
     EXPECT_EQ(repeat.dispatch.latencyMs.p99,
@@ -663,6 +676,53 @@ TEST(FleetThrottle, ClosedLoopSuppressesBatchAndMovesTheTail)
     EXPECT_LT(throttled.effectiveBatchUipc, baseline.effectiveBatchUipc);
     EXPECT_LT(throttled.dispatch.latencyMs.p99,
               baseline.dispatch.latencyMs.p99);
+}
+
+TEST(FleetHeterogeneous, SlotParametersArePlumbedNotBaked)
+{
+    // heterogeneousFleet must carry slot overrides in `slots` (applied
+    // at measurement time), leave the cloned RunConfigs untouched, and
+    // decorrelate per-core seeds exactly like homogeneousFleet.
+    RunConfig base = smallConfig();
+    std::vector<CoreSlot> slots(3);
+    slots[1].robEntries = 96;
+    slots[1].lsqEntries = 32;
+    slots[2].bmodeSkew = SkewConfig{28, 60};
+
+    FleetConfig fleet = heterogeneousFleet(base, slots);
+    ASSERT_EQ(fleet.cores.size(), 3u);
+    ASSERT_EQ(fleet.slots.size(), 3u);
+    EXPECT_EQ(fleet.slots[0].robEntries, 0u); // zero = keep RunConfig's
+    EXPECT_EQ(fleet.slots[1].robEntries, 96u);
+    EXPECT_EQ(fleet.slots[1].lsqEntries, 32u);
+    EXPECT_EQ(fleet.slots[2].bmodeSkew.lsRobEntries, 28u);
+    EXPECT_EQ(fleet.seed, base.seed);
+    for (std::size_t i = 0; i < fleet.cores.size(); ++i) {
+        EXPECT_EQ(fleet.cores[i].workload0, base.workload0);
+        EXPECT_EQ(fleet.cores[i].workload1, base.workload1);
+        // Physical sizes stay the base's; the override lives in the slot.
+        EXPECT_EQ(fleet.cores[i].robEntries, base.robEntries);
+        EXPECT_EQ(fleet.cores[i].lsqEntries, base.lsqEntries);
+        EXPECT_EQ(fleet.cores[i].seed, mixSeed(base.seed, i));
+    }
+}
+
+TEST(FleetHeterogeneous, AllZeroSlotsMatchAHomogeneousFleet)
+{
+    // A zero-valued CoreSlot must be a no-op: same measured capacities
+    // and dispatch as the slot-free fleet of the same size.
+    RunConfig base = smallConfig();
+    FleetConfig het = heterogeneousFleet(base, std::vector<CoreSlot>(2));
+    FleetConfig hom = homogeneousFleet(2, base);
+    het.requests = hom.requests = 300;
+
+    FleetResult a = runFleet(het);
+    FleetResult b = runFleet(hom);
+    ASSERT_EQ(a.serviceRatePerMs.size(), b.serviceRatePerMs.size());
+    for (std::size_t c = 0; c < 2; ++c)
+        EXPECT_EQ(a.serviceRatePerMs[c], b.serviceRatePerMs[c]);
+    EXPECT_EQ(a.dispatch.latencyMs.p99, b.dispatch.latencyMs.p99);
+    EXPECT_EQ(a.dispatch.placed, b.dispatch.placed);
 }
 
 TEST(FleetHeterogeneous, SlotsShapeMeasuredCapacity)
@@ -711,6 +771,7 @@ TEST(FleetDynamicModes, ClosedLoopIsBitIdenticalSerialVsParallel)
     parallel.threads = 0;
 
     FleetResult a = runFleet(serial);
+    clearOperatingPoints();
     FleetResult b = runFleet(parallel);
 
     // The acceptance bar: a dynamic fleet run actually flips mode

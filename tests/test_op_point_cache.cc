@@ -1,0 +1,127 @@
+/**
+ * @file
+ * OperatingPointCache tests: repeat measurements of identical
+ * configurations are cache hits (the fig15-style bench speedup), key
+ * sensitivity, and runFleet's use of the memo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet.h"
+#include "sim/op_point_cache.h"
+
+namespace stretch::sim
+{
+namespace
+{
+
+/** Small-but-real colocation config so cache tests stay fast. */
+RunConfig
+smallConfig()
+{
+    RunConfig cfg;
+    cfg.workload0 = "web_search";
+    cfg.workload1 = "zeusmp";
+    cfg.samples = 2;
+    cfg.warmupOps = 2000;
+    cfg.measureOps = 5000;
+    return cfg;
+}
+
+TEST(OperatingPointCache, SecondMeasurementIsAHit)
+{
+    OperatingPointCache &cache = OperatingPointCache::instance();
+    cache.clear();
+
+    RunConfig cfg = smallConfig();
+    const RunResult &first = cache.measure(cfg);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const RunResult &second = cache.measure(cfg);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    // Same memoised entry, not merely an equal value.
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(first.totalCycles, run(cfg).totalCycles); // matches a real run
+}
+
+TEST(OperatingPointCache, KeySeparatesResultChangingFields)
+{
+    RunConfig a = smallConfig();
+    RunConfig b = a;
+    EXPECT_EQ(OperatingPointCache::key(a), OperatingPointCache::key(b));
+
+    b.seed = a.seed + 1;
+    EXPECT_NE(OperatingPointCache::key(a), OperatingPointCache::key(b));
+
+    b = a;
+    b.robEntries = 128;
+    EXPECT_NE(OperatingPointCache::key(a), OperatingPointCache::key(b));
+
+    b = a;
+    b.warmupCycles = a.warmupCycles + 1;
+    EXPECT_NE(OperatingPointCache::key(a), OperatingPointCache::key(b));
+
+    // Sample-level parallelism is bit-identical by construction, so it
+    // must share the entry.
+    b = a;
+    b.parallelism = 8;
+    EXPECT_EQ(OperatingPointCache::key(a), OperatingPointCache::key(b));
+}
+
+TEST(OperatingPointCache, RunFleetSkipsRemeasuringIdenticalSlots)
+{
+    OperatingPointCache &cache = OperatingPointCache::instance();
+    cache.clear();
+
+    FleetConfig fleet = homogeneousFleet(2, smallConfig());
+    fleet.requests = 500;
+    fleet.modeControl.kind = ModePolicyKind::SlackDriven;
+    fleet.modeControl.monitor.qosTarget = 1.0;
+
+    FleetResult first = runFleet(fleet);
+    std::uint64_t misses_after_first = cache.misses();
+    // 2 cores x (3 modes + throttled point), all distinct seeds.
+    EXPECT_EQ(misses_after_first, 8u);
+
+    // The second identical fleet re-measures nothing — the satellite
+    // acceptance: a repeat measurement of an identical slot is a hit.
+    FleetResult second = runFleet(fleet);
+    EXPECT_EQ(cache.misses(), misses_after_first);
+    EXPECT_GE(cache.hits(), 8u);
+
+    // Cached operating points are bit-identical to fresh ones.
+    for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(first.modeRates[c].baseline, second.modeRates[c].baseline);
+        EXPECT_EQ(first.modeRates[c].qmode, second.modeRates[c].qmode);
+        EXPECT_EQ(first.modeRates[c].throttledLs,
+                  second.modeRates[c].throttledLs);
+    }
+    EXPECT_EQ(first.dispatch.latencyMs.p99, second.dispatch.latencyMs.p99);
+
+    // Opting out forces fresh measurements.
+    FleetConfig fresh = fleet;
+    fresh.reuseOperatingPoints = false;
+    std::uint64_t hits_before = cache.hits();
+    FleetResult third = runFleet(fresh);
+    EXPECT_EQ(cache.hits(), hits_before);
+    EXPECT_EQ(cache.misses(), misses_after_first);
+    EXPECT_EQ(third.dispatch.latencyMs.p99, first.dispatch.latencyMs.p99);
+}
+
+TEST(OperatingPointCache, ClearResetsEverything)
+{
+    OperatingPointCache &cache = OperatingPointCache::instance();
+    cache.clear();
+    cache.measure(smallConfig());
+    EXPECT_GT(cache.size(), 0u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+} // namespace
+} // namespace stretch::sim

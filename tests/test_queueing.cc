@@ -174,6 +174,54 @@ TEST(ArrivalProcess, DiurnalVariantMatchesRawDiurnal)
         EXPECT_EQ(wrapped.next(a), raw.next(b));
 }
 
+TEST(DiurnalArrivalsThinning, EmpiricalHourlyRatesFollowTheTrace)
+{
+    // Lewis-Shedler thinning must reproduce the non-homogeneous rate:
+    // bucket one replayed day of arrivals by hour and compare each
+    // hour's count against peak_rate x mean-load-of-hour (for the
+    // piecewise-linear curve, the average of the bounding samples).
+    auto trace = DiurnalTrace::webSearchCluster();
+    const double peak = 40.0;        // requests per ms
+    const double ms_per_hour = 50.0; // 2000 expected at a 100%-load hour
+    DiurnalArrivals arrivals(peak, trace, ms_per_hour);
+    Rng rng(123);
+
+    std::array<std::uint64_t, 24> counts{};
+    const double day_ms = 24.0 * ms_per_hour;
+    double t = 0.0;
+    std::uint64_t total = 0;
+    for (;;) {
+        t += arrivals.next(rng);
+        if (t >= day_ms)
+            break;
+        ++counts[static_cast<std::size_t>(t / ms_per_hour)];
+        ++total;
+    }
+
+    for (std::size_t h = 0; h < 24; ++h) {
+        double mean_load =
+            (trace.hourly()[h] + trace.hourly()[(h + 1) % 24]) / 2.0;
+        double expected = peak * ms_per_hour * mean_load;
+        // Poisson-count tolerance: 15% relative or 5 standard
+        // deviations, whichever is looser (low-load hours are noisy).
+        double tol = std::max(0.15 * expected, 5.0 * std::sqrt(expected));
+        EXPECT_NEAR(static_cast<double>(counts[h]), expected, tol)
+            << "hour " << h;
+    }
+
+    // The whole day integrates to peak x meanLoad x 24h.
+    double expected_total = peak * trace.meanLoad() * day_ms;
+    EXPECT_NEAR(static_cast<double>(total), expected_total,
+                0.05 * expected_total);
+
+    // And the shape is right: the midday plateau far outdraws the
+    // overnight trough.
+    std::uint64_t night = counts[2] + counts[3] + counts[4];
+    std::uint64_t midday = counts[12] + counts[13] + counts[14];
+    EXPECT_LT(static_cast<double>(night),
+              0.75 * static_cast<double>(midday));
+}
+
 // ---- The shared discrete-event engine ---------------------------------
 
 /** Fixed-gap, fixed-demand callbacks for exact-arithmetic engine tests. */
@@ -182,8 +230,10 @@ fixedTraffic(EventEngine &engine, double gap, double demand)
 {
     EventEngine::Callbacks cb;
     cb.nextGap = [gap] { return gap; };
-    cb.nextDemand = [demand] { return demand; };
-    cb.place = [&engine](double, double) { return engine.leastFreeServer(); };
+    cb.nextDemand = [demand](std::uint32_t) { return demand; };
+    cb.place = [&engine](double, double, std::uint32_t) {
+        return engine.leastFreeServer();
+    };
     cb.finish = [](std::size_t, double start, double d) { return start + d; };
     return cb;
 }
@@ -194,8 +244,10 @@ TEST(EventEngine, ConservesRequestsAndDeliversInFinishOrder)
     EventEngine engine(3);
     EventEngine::Callbacks cb;
     cb.nextGap = [&] { return rng.exponential(0.4); };
-    cb.nextDemand = [&] { return rng.exponential(1.0); };
-    cb.place = [&](double, double) { return engine.leastFreeServer(); };
+    cb.nextDemand = [&](std::uint32_t) { return rng.exponential(1.0); };
+    cb.place = [&](double, double, std::uint32_t) {
+        return engine.leastFreeServer();
+    };
     cb.finish = [](std::size_t, double start, double d) { return start + d; };
     std::uint64_t completions = 0;
     double last_finish = 0.0;
