@@ -5,49 +5,82 @@
  * 56-136 (fully shared structures) versus the two combined — batch
  * speedup over the baseline core, per latency-sensitive service.
  *
+ * Written against the scenario API: per latency-sensitive service, one
+ * measurement-only scenario holds a core per batch co-runner, and a
+ * one-axis sweep walks the four machine configurations; every core is
+ * measured once through the shared operating-point cache and the table
+ * is assembled from the labelled outcomes.
+ *
  * Paper reference points: +8% (ideal software scheduling), +13% (Stretch),
  * +21% (combined).
  */
 
+#include <map>
 #include <vector>
 
 #include "common.h"
+#include "scenario/scenario.h"
 #include "workload/profiles.h"
 
 using namespace stretch;
 using namespace stretch::bench;
+
+namespace
+{
+
+/** Apply one figure configuration to every core of a scenario. */
+void
+applyConfig(scenario::Scenario &s, bool private_structs, bool bmode)
+{
+    for (sim::RunConfig &core : s.cores) {
+        core.shareL1i = !private_structs;
+        core.shareL1d = !private_structs;
+        core.shareBp = !private_structs;
+        if (bmode) {
+            core.rob.kind = sim::RobConfigKind::Asymmetric;
+            core.rob.limit0 = 56;
+            core.rob.limit1 = 136;
+        } else {
+            core.rob.kind = sim::RobConfigKind::EqualPartition;
+        }
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
-    // Every run the figure needs, simulated once on the worker pool.
-    std::vector<sim::RunConfig> plan;
-    forEachPair([&](const std::string &ls, const std::string &batch) {
-        sim::RunConfig cfg = baseConfig(opt);
-        cfg.workload0 = ls;
-        cfg.workload1 = batch;
-        cfg.rob.kind = sim::RobConfigKind::EqualPartition;
-        plan.push_back(cfg);
-        for (bool private_structs : {true, false}) {
-            for (bool bmode : {false, true}) {
-                if (!private_structs && !bmode)
-                    continue; // that's the baseline again
-                sim::RunConfig alt = cfg;
-                alt.shareL1i = !private_structs;
-                alt.shareL1d = !private_structs;
-                alt.shareBp = !private_structs;
-                if (bmode) {
-                    alt.rob.kind = sim::RobConfigKind::Asymmetric;
-                    alt.rob.limit0 = 56;
-                    alt.rob.limit1 = 136;
-                }
-                plan.push_back(alt);
-            }
+    // Per LS service: outcome of each configuration, one core per batch
+    // co-runner, measurement-only (no request stream).
+    std::map<std::string, std::vector<scenario::Sweep::Outcome>> byService;
+    for (const auto &ls : workloads::latencySensitiveNames()) {
+        scenario::ScenarioBuilder builder;
+        builder.name("fig13-" + ls).requests(0);
+        for (const auto &batch : workloads::batchNames()) {
+            sim::RunConfig cfg = baseConfig(opt);
+            cfg.workload0 = ls;
+            cfg.workload1 = batch;
+            builder.addCore(cfg);
         }
-    });
-    warmCache(plan, "fig13");
+
+        scenario::Sweep sweep(builder.expect());
+        sweep.over(
+            "config",
+            {{"baseline",
+              [](scenario::Scenario &s) { applyConfig(s, false, false); }},
+             {"Ideal Software Scheduling",
+              [](scenario::Scenario &s) { applyConfig(s, true, false); }},
+             {"Stretch",
+              [](scenario::Scenario &s) { applyConfig(s, false, true); }},
+             {"Stretch + Ideal SW Sched",
+              [](scenario::Scenario &s) { applyConfig(s, true, true); }}});
+        byService.emplace(ls, sweep.run());
+        progress("fig13", byService.size(),
+                 workloads::latencySensitiveNames().size());
+    }
 
     stats::Table table("Figure 13: batch speedup vs baseline core");
     std::vector<std::string> header = {"config"};
@@ -56,41 +89,29 @@ main(int argc, char **argv)
     header.push_back("Average");
     table.setHeader(header);
 
-    auto evaluate = [&](const std::string &label, bool private_structs,
-                        bool bmode) {
-        std::vector<std::string> row = {label};
+    // Outcome index 0 is the baseline; 1..3 the figure's configurations.
+    const double nls =
+        static_cast<double>(workloads::latencySensitiveNames().size());
+    for (std::size_t v = 1; v <= 3; ++v) {
+        std::vector<std::string> row;
         double all = 0.0;
         for (const auto &ls : workloads::latencySensitiveNames()) {
+            const std::vector<scenario::Sweep::Outcome> &outcomes =
+                byService.at(ls);
+            const sim::FleetResult &base = outcomes[0].result;
+            const sim::FleetResult &alt = outcomes[v].result;
             double sum = 0.0;
-            for (const auto &batch : workloads::batchNames()) {
-                sim::RunConfig cfg = baseConfig(opt);
-                cfg.workload0 = ls;
-                cfg.workload1 = batch;
-                cfg.rob.kind = sim::RobConfigKind::EqualPartition;
-                const sim::RunResult &base = cachedRun(cfg);
-
-                cfg.shareL1i = !private_structs;
-                cfg.shareL1d = !private_structs;
-                cfg.shareBp = !private_structs;
-                if (bmode) {
-                    cfg.rob.kind = sim::RobConfigKind::Asymmetric;
-                    cfg.rob.limit0 = 56;
-                    cfg.rob.limit1 = 136;
-                }
-                const sim::RunResult &alt = cachedRun(cfg);
-                sum += alt.uipc[1] / base.uipc[1] - 1.0;
-            }
-            double n = static_cast<double>(workloads::batchNames().size());
-            row.push_back(stats::Table::pct(sum / n));
-            all += sum / n / 4.0;
+            for (std::size_t c = 0; c < base.cores.size(); ++c)
+                sum += alt.cores[c].uipc[1] / base.cores[c].uipc[1] - 1.0;
+            double mean = sum / static_cast<double>(base.cores.size());
+            if (row.empty())
+                row.push_back(outcomes[v].variant.coords[0].second);
+            row.push_back(stats::Table::pct(mean));
+            all += mean / nls;
         }
         row.push_back(stats::Table::pct(all));
         table.addRow(row);
-    };
-
-    evaluate("Ideal Software Scheduling", true, false);
-    evaluate("Stretch", false, true);
-    evaluate("Stretch + Ideal SW Sched", true, true);
+    }
 
     emit(table, opt);
 

@@ -8,6 +8,12 @@
  * violations persist through the daytime plateau — throttles the batch
  * co-runner.
  *
+ * Written against the scenario API: the fleet, the 10%-over-capacity
+ * peak, the day-sized stream, and the relative QoS target are one
+ * scenario; a control-policy sweep runs the three variants with every
+ * shared operating point measured once (the cache line printed at the
+ * end is the receipt).
+ *
  * Expected trend (extends Section VI-D): slack-driven control banks
  * B-mode batch throughput through the overnight trough relative to the
  * static baseline; honouring the throttle decision then buys the p99
@@ -19,8 +25,7 @@
 #include <vector>
 
 #include "common.h"
-#include "queueing/diurnal.h"
-#include "sim/fleet.h"
+#include "scenario/scenario.h"
 #include "sim/op_point_cache.h"
 
 using namespace stretch;
@@ -30,9 +35,11 @@ using namespace stretch::queueing;
 namespace
 {
 
-/** Two big + two little cores, co-runner mix across the classes. */
-sim::FleetConfig
-buildFleet(const Options &opt, const std::string &ls)
+/** Two big + two little cores, co-runner mix across the classes,
+ *  diurnal replay peaking 10% over measured capacity. */
+scenario::Scenario
+buildScenario(const Options &opt, const std::string &ls,
+              const DiurnalTrace &trace, double ms_per_hour)
 {
     sim::RunConfig base = baseConfig(opt);
     base.workload0 = ls;
@@ -44,12 +51,19 @@ buildFleet(const Options &opt, const std::string &ls)
     slots[2].bmodeSkew = slots[3].bmodeSkew = SkewConfig{40, 88};
     slots[2].qmodeSkew = slots[3].qmodeSkew = SkewConfig{88, 40};
 
-    sim::FleetConfig fleet = sim::heterogeneousFleet(base, slots);
-    fleet.cores[2].workload1 = "zeusmp";
-    fleet.cores[3].workload1 = "zeusmp";
-    fleet.policy = sim::PlacementPolicy::QosAware;
-    fleet.threads = 0;
-    return fleet;
+    return scenario::ScenarioBuilder()
+        .name("fig15-" + trace.name())
+        .cores(base, slots)
+        .coRunner(2, "zeusmp")
+        .coRunner(3, "zeusmp")
+        .placement(sim::PlacementPolicy::QosAware)
+        .diurnal(trace, ms_per_hour)
+        .peakLoad(1.1)   // peak slightly overloads the fleet
+        .dayLongStream() // one replayed 24 h day
+        .modePolicy(sim::ModePolicyKind::SlackDriven)
+        .controlQuantum(0.5)
+        .qosTargetFactor(4.0) // 4x the flat-load probe's p99
+        .expect();
 }
 
 double
@@ -99,45 +113,29 @@ main(int argc, char **argv)
     };
 
     for (const TraceCase &tc : cases) {
-        sim::FleetConfig fleet = buildFleet(opt, tc.ls);
+        scenario::Sweep sweep(
+            buildScenario(opt, tc.ls, tc.trace, ms_per_hour));
+        sweep.over(
+            "control",
+            {{"static baseline",
+              [](scenario::Scenario &s) {
+                  s.control.kind = sim::ModePolicyKind::Static;
+              }},
+             {"slack, no throttle",
+              [](scenario::Scenario &s) {
+                  s.control.kind = sim::ModePolicyKind::SlackDriven;
+                  s.control.honorThrottle = false;
+              }},
+             {"slack + throttle", [](scenario::Scenario &s) {
+                  s.control.kind = sim::ModePolicyKind::SlackDriven;
+                  s.control.honorThrottle = true;
+              }}});
 
-        // Static probe (flat load, no trace): fleet capacity and the
-        // latency scale for the QoS target.
-        sim::FleetConfig probe = fleet;
-        probe.requests = 6000;
-        sim::FleetResult flat = sim::runFleet(probe);
-        double capacity = 0.0;
-        for (double r : flat.serviceRatePerMs)
-            capacity += r;
-
-        fleet.diurnalTrace = tc.trace;
-        fleet.msPerHour = ms_per_hour;
-        fleet.arrivalRatePerMs = 1.1 * capacity; // peak slightly overloads
-        fleet.requests = static_cast<std::uint64_t>(
-            fleet.arrivalRatePerMs * tc.trace.meanLoad() * 24.0 *
-            ms_per_hour);
-        fleet.modeControl.quantumMs = 0.5;
-        fleet.modeControl.monitor.qosTarget =
-            4.0 * flat.dispatch.latencyMs.p99;
-
-        struct Variant
-        {
-            const char *label;
-            sim::ModePolicyKind kind;
-            bool throttle;
-        };
-        const std::vector<Variant> variants = {
-            {"static baseline", sim::ModePolicyKind::Static, false},
-            {"slack, no throttle", sim::ModePolicyKind::SlackDriven, false},
-            {"slack + throttle", sim::ModePolicyKind::SlackDriven, true},
-        };
-        for (const Variant &v : variants) {
-            fleet.modeControl.kind = v.kind;
-            fleet.modeControl.honorThrottle = v.throttle;
-            sim::FleetResult r = sim::runFleet(fleet);
-            const sim::DispatchOutcome &d = r.dispatch;
+        for (const scenario::Sweep::Outcome &o : sweep.run()) {
+            const sim::DispatchOutcome &d = o.result.dispatch;
             table.addRow(
-                {tc.label, v.label, stats::Table::num(d.latencyMs.median, 3),
+                {tc.label, o.variant.coords[0].second,
+                 stats::Table::num(d.latencyMs.median, 3),
                  stats::Table::num(d.latencyMs.p99, 3),
                  stats::Table::num(d.latencyMs.p999, 3),
                  stats::Table::num(d.throughputRps / 1000.0, 1),
@@ -147,9 +145,9 @@ main(int argc, char **argv)
                      d, sim::modeIndex(StretchMode::QosBoost))),
                  stats::Table::pct(throttleFraction(d)),
                  std::to_string(d.totalThrottleEngagements()),
-                 stats::Table::num(r.effectiveBatchUipc, 3)});
+                 stats::Table::num(o.result.effectiveBatchUipc, 3)});
             std::fprintf(stderr, "fig15: %s / %s done\n", tc.label,
-                         v.label);
+                         o.variant.label.c_str());
         }
     }
     emit(table, opt);
@@ -162,9 +160,10 @@ main(int argc, char **argv)
                                              "UIPC gives some back"});
     emit(notes, opt);
 
-    // The probe and the three control variants share identical cores, so
-    // the OperatingPointCache answers most operating-point measurements
-    // without re-simulating — the bulk of this bench's speedup.
+    // The calibration probe and the three control variants share
+    // identical cores, so the OperatingPointCache answers most
+    // operating-point measurements without re-simulating — the bulk of
+    // this bench's speedup.
     const sim::OperatingPointCache &cache =
         sim::OperatingPointCache::instance();
     std::fprintf(stderr,

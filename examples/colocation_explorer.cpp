@@ -4,6 +4,10 @@
  * and print the full QoS/throughput trade-off curve — the tool a deployment
  * engineer would use to pick the design-time B-mode/Q-mode points.
  *
+ * Written against the scenario API: a measurement-only scenario whose
+ * one sweep axis walks the partition ladder (plus the dynamically shared
+ * ROB), every point an independent operating-point measurement.
+ *
  * Usage: colocation_explorer [ls_workload] [batch_workload]
  *   default pair: web_search zeusmp
  */
@@ -12,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/runner.h"
+#include "scenario/scenario.h"
 #include "workload/profiles.h"
 
 using namespace stretch;
@@ -33,36 +37,59 @@ main(int argc, char **argv)
     cfg.workload0 = ls;
     cfg.workload1 = batch;
 
+    scenario::Scenario base = scenario::ScenarioBuilder()
+                                  .name("colocation-explorer")
+                                  .addCore(cfg)
+                                  .requests(0) // measurement only
+                                  .expect();
+
+    // The partition ladder, most LS-favouring first, then the shared pool.
+    const std::vector<std::pair<unsigned, unsigned>> skews = {
+        {160, 32}, {144, 48}, {128, 64}, {112, 80}, {80, 112},
+        {64, 128}, {56, 136}, {48, 144}, {32, 160}};
+    std::vector<scenario::Sweep::Point> points;
+    points.push_back({"96-96 (baseline)", [](scenario::Scenario &s) {
+                          s.cores[0].rob.kind =
+                              sim::RobConfigKind::EqualPartition;
+                      }});
+    for (auto [l, b] : skews) {
+        char label[32];
+        std::snprintf(label, sizeof label, "%u-%u", l, b);
+        points.push_back({label, [l = l, b = b](scenario::Scenario &s) {
+                              s.cores[0].rob.kind =
+                                  sim::RobConfigKind::Asymmetric;
+                              s.cores[0].rob.limit0 = l;
+                              s.cores[0].rob.limit1 = b;
+                          }});
+    }
+    points.push_back({"dynamic shared", [](scenario::Scenario &s) {
+                          s.cores[0].rob.kind =
+                              sim::RobConfigKind::DynamicShared;
+                      }});
+
+    scenario::Sweep sweep(base);
+    sweep.over("partition", std::move(points));
+    std::vector<scenario::Sweep::Outcome> outcomes = sweep.run();
+
     std::printf("Sweeping ROB partitions for %s (LS) + %s (batch)\n\n",
                 ls.c_str(), batch.c_str());
     std::printf("%-16s %10s %12s %12s %12s\n", "partition (LS-B)", "LS UIPC",
                 "batch UIPC", "LS vs 96-96", "batch vs 96-96");
 
-    cfg.rob.kind = sim::RobConfigKind::EqualPartition;
-    sim::RunResult base = sim::run(cfg);
-    std::printf("%-16s %10.3f %12.3f %12s %12s\n", "96-96 (baseline)",
-                base.uipc[0], base.uipc[1], "-", "-");
-
-    const std::vector<std::pair<unsigned, unsigned>> skews = {
-        {160, 32}, {144, 48}, {128, 64}, {112, 80}, {80, 112},
-        {64, 128}, {56, 136}, {48, 144}, {32, 160}};
-    for (auto [l, b] : skews) {
-        cfg.rob.kind = sim::RobConfigKind::Asymmetric;
-        cfg.rob.limit0 = l;
-        cfg.rob.limit1 = b;
-        sim::RunResult r = sim::run(cfg);
-        std::printf("%3u-%-12u %10.3f %12.3f %+11.1f%% %+11.1f%%\n", l, b,
-                    r.uipc[0], r.uipc[1],
-                    (r.uipc[0] / base.uipc[0] - 1.0) * 100.0,
-                    (r.uipc[1] / base.uipc[1] - 1.0) * 100.0);
+    const sim::RunResult &baseline = outcomes.front().result.cores[0];
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const sim::RunResult &r = outcomes[i].result.cores[0];
+        const std::string &label = outcomes[i].variant.coords[0].second;
+        if (i == 0) {
+            std::printf("%-16s %10.3f %12.3f %12s %12s\n", label.c_str(),
+                        r.uipc[0], r.uipc[1], "-", "-");
+            continue;
+        }
+        std::printf("%-16s %10.3f %12.3f %+11.1f%% %+11.1f%%\n",
+                    label.c_str(), r.uipc[0], r.uipc[1],
+                    (r.uipc[0] / baseline.uipc[0] - 1.0) * 100.0,
+                    (r.uipc[1] / baseline.uipc[1] - 1.0) * 100.0);
     }
-
-    cfg.rob.kind = sim::RobConfigKind::DynamicShared;
-    sim::RunResult dyn = sim::run(cfg);
-    std::printf("%-16s %10.3f %12.3f %+11.1f%% %+11.1f%%\n",
-                "dynamic shared", dyn.uipc[0], dyn.uipc[1],
-                (dyn.uipc[0] / base.uipc[0] - 1.0) * 100.0,
-                (dyn.uipc[1] / base.uipc[1] - 1.0) * 100.0);
 
     std::printf("\nPick the lowest LS share whose slowdown is still inside "
                 "the service's\nload-dependent slack (see "

@@ -10,14 +10,18 @@
  * thread. Prints an hour-by-hour timeline plus per-core mode and throttle
  * residency.
  *
+ * Written against the scenario API: the whole experiment — topology,
+ * peak load relative to measured capacity, day-sized stream, hourly
+ * timeline, relative QoS target — is one builder chain; calibration
+ * against a static probe happens inside `scenario::run`.
+ *
  * Usage: datacenter_day [websearch|youtube]
  */
 
 #include <cstdio>
 #include <cstring>
 
-#include "queueing/diurnal.h"
-#include "sim/fleet.h"
+#include "scenario/scenario.h"
 
 using namespace stretch;
 using namespace stretch::queueing;
@@ -46,50 +50,41 @@ main(int argc, char **argv)
     slots[2].bmodeSkew = slots[3].bmodeSkew = SkewConfig{40, 88};
     slots[2].qmodeSkew = slots[3].qmodeSkew = SkewConfig{88, 40};
 
-    sim::FleetConfig fleet = sim::heterogeneousFleet(base, slots);
-    fleet.cores[2].workload1 = "zeusmp";
-    fleet.cores[3].workload1 = "zeusmp";
-    fleet.policy = sim::PlacementPolicy::QosAware;
-    fleet.threads = 0; // one pool worker per hardware thread
+    // Replay a full 24-hour day, time-compressed, with the peak load at
+    // the fleet's measured baseline capacity: the midday plateau
+    // pressures the monitor into Q-mode and throttling, which together
+    // buy the headroom that keeps the queue from running away.
+    const double ms_per_hour = 60.0;
+    scenario::Scenario day_scenario =
+        scenario::ScenarioBuilder()
+            .name("datacenter-day")
+            .cores(base, slots)
+            .coRunner(2, "zeusmp")
+            .coRunner(3, "zeusmp")
+            .placement(sim::PlacementPolicy::QosAware)
+            .diurnal(trace, ms_per_hour)
+            .peakLoad(1.0)   // peak rate = measured fleet capacity
+            .dayLongStream() // size the stream to span the whole day
+            .hourlyTimeline()
+            .modePolicy(sim::ModePolicyKind::SlackDriven)
+            .controlQuantum(0.5)
+            .qosTargetFactor(4.0) // 4x the flat-load probe's p99
+            .expect();
 
     std::printf("Measuring the heterogeneous fleet at its operating "
                 "points (%s)...\n",
                 ls_workload.c_str());
 
-    // Calibration pass: static baseline gives the fleet's capacity and a
-    // latency scale for the QoS target.
-    sim::FleetConfig probe = fleet;
-    probe.requests = 6000;
-    sim::FleetResult flat = sim::runFleet(probe);
-    double capacity = 0.0;
-    for (double r : flat.serviceRatePerMs)
-        capacity += r;
-
-    // Replay a full 24-hour day, time-compressed, with the peak load at
-    // the fleet's baseline capacity: the midday plateau pressures the
-    // monitor into Q-mode and throttling, which together buy the headroom
-    // that keeps the queue from running away.
-    const double ms_per_hour = 60.0;
-    fleet.diurnalTrace = trace;
-    fleet.msPerHour = ms_per_hour;
-    fleet.timelineBucketMs = ms_per_hour; // one bucket per replayed hour
-    fleet.arrivalRatePerMs = capacity;
-    fleet.requests = static_cast<std::uint64_t>(
-        fleet.arrivalRatePerMs * trace.meanLoad() * 24.0 * ms_per_hour);
-
-    fleet.modeControl.kind = sim::ModePolicyKind::SlackDriven;
-    fleet.modeControl.quantumMs = 0.5;
-    fleet.modeControl.monitor.qosTarget = 4.0 * flat.dispatch.latencyMs.p99;
-
-    sim::FleetResult day = sim::runFleet(fleet);
+    sim::FleetConfig lowered = scenario::lower(day_scenario);
+    sim::FleetResult day = sim::runFleet(lowered);
     const sim::DispatchOutcome &d = day.dispatch;
 
     std::printf("\n%s: %llu requests over a compressed 24 h day "
                 "(%.0f ms/hour), peak %.1f req/ms, QoS target %.2f ms\n\n",
                 trace.name().c_str(),
-                static_cast<unsigned long long>(fleet.requests), ms_per_hour,
-                fleet.arrivalRatePerMs,
-                fleet.modeControl.monitor.qosTarget);
+                static_cast<unsigned long long>(lowered.requests),
+                ms_per_hour, lowered.arrivalRatePerMs,
+                lowered.modeControl.monitor.qosTarget);
     std::printf("%5s %6s %-22s %8s %9s %9s %10s\n", "hour", "load", "",
                 "reqs", "p50", "p99", "throttled");
     for (std::size_t b = 0; b < d.timeline.size() && b < 24; ++b) {
@@ -114,9 +109,10 @@ main(int argc, char **argv)
         std::printf("  core %zu (%s, %3u-entry ROB): %5.1f%% base, "
                     "%5.1f%% B, %5.1f%% Q | throttled %5.1f%% "
                     "(%llu engagements, %llu CPI outliers)\n",
-                    i, fleet.cores[i].workload1.c_str(),
-                    fleet.slots[i].robEntries ? fleet.slots[i].robEntries
-                                              : base.robEntries,
+                    i, day_scenario.cores[i].workload1.c_str(),
+                    day_scenario.slots[i].robEntries
+                        ? day_scenario.slots[i].robEntries
+                        : base.robEntries,
                     100.0 * m.residencyMs[0] / total,
                     100.0 * m.residencyMs[1] / total,
                     100.0 * m.residencyMs[2] / total,
@@ -126,7 +122,7 @@ main(int argc, char **argv)
     }
 
     std::printf("\nQoS:   p99 %.2f ms (target %.2f ms), p99.9 %.2f ms\n",
-                d.latencyMs.p99, fleet.modeControl.monitor.qosTarget,
+                d.latencyMs.p99, lowered.modeControl.monitor.qosTarget,
                 d.latencyMs.p999);
     std::printf("Batch: %.3f UIPC at baseline, %.3f effective after mode "
                 "residency + throttling (%+.1f%%)\n",

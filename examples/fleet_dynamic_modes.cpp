@@ -5,11 +5,15 @@
  *
  * A 4-core fleet colocates web_search with mcf. Each core's LS capacity
  * is measured in all three operating points (Baseline / B-mode / Q-mode),
- * then the same bursty request stream is dispatched three times: with the
- * mode register held at Baseline, with a backlog-hysteresis policy, and
- * with the CPI²-monitor slack ladder — each serving core flipping its own
- * mode register at control-quantum boundaries, paying the flush cost on
- * every change.
+ * then the same bursty request stream is dispatched under three control
+ * policies — mode register held at Baseline, backlog hysteresis, and the
+ * CPI²-monitor slack ladder — each serving core flipping its own mode
+ * register at control-quantum boundaries, paying the flush cost on every
+ * change.
+ *
+ * Written against the scenario API: the rack, the bursty traffic, and
+ * the relative QoS target live in one scenario; a one-axis sweep runs
+ * the three control policies with operating points measured once.
  *
  * Build:  cmake -B build -S . && cmake --build build -j
  * Run:    ./build/fleet_dynamic_modes
@@ -17,8 +21,7 @@
 
 #include <cstdio>
 
-#include "sim/fleet.h"
-#include "sim/runner.h"
+#include "scenario/scenario.h"
 
 using namespace stretch;
 
@@ -62,40 +65,53 @@ main()
     base.warmupOps = 4000;
     base.measureOps = 10000;
 
-    sim::FleetConfig fleet = sim::homogeneousFleet(4, base);
-    fleet.policy = sim::PlacementPolicy::PowerOfTwo;
-    fleet.requests = 30000;
-    fleet.burstRatio = 4.0; // MMPP-2 bursts stress the control loop
-    fleet.threads = 0;      // one worker per hardware thread
+    // MMPP-2 bursts stress the control loop; the QoS target is derived
+    // from a flat-load calibration probe (1x its p99 sojourn), so the
+    // slack ladder has real violations to react to once bursts queue up.
+    scenario::Scenario fleet =
+        scenario::ScenarioBuilder()
+            .name("fleet-dynamic-modes")
+            .cores(4, base)
+            .requests(30000)
+            .burstiness(4.0)
+            .placement(sim::PlacementPolicy::PowerOfTwo)
+            .modePolicy(sim::ModePolicyKind::SlackDriven)
+            .controlQuantum(0.5)
+            .qosTargetFactor(1.0)
+            .expect();
+
+    scenario::Sweep sweep(fleet);
+    sweep.over("control",
+               {{"static baseline",
+                 [](scenario::Scenario &s) {
+                     // The mode register is written once and never again.
+                     s.control.kind = sim::ModePolicyKind::Static;
+                 }},
+                {"backlog-hysteresis",
+                 [](scenario::Scenario &s) {
+                     // Engage B-mode when the queue is near-empty, fall
+                     // back as it builds, escalate to Q-mode under depth.
+                     s.control.kind = sim::ModePolicyKind::BacklogHysteresis;
+                 }},
+                {"slack-driven", [](scenario::Scenario &s) {
+                     // The CPI²-style monitor watches completion latencies
+                     // against the sojourn target and walks its ladder.
+                     s.control.kind = sim::ModePolicyKind::SlackDriven;
+                 }}});
 
     std::printf("4-core fleet: web_search + mcf, bursty arrivals, "
                 "power-of-two placement\n\n");
 
-    // Static Baseline: the mode register is written once and never again.
-    fleet.modeControl.kind = sim::ModePolicyKind::Static;
-    sim::FleetResult fixed = sim::runFleet(fleet);
-    report("static baseline", fixed);
-
-    // Backlog hysteresis: engage B-mode when the queue is near-empty,
-    // fall back as it builds, escalate to Q-mode under a deep backlog.
-    fleet.modeControl.kind = sim::ModePolicyKind::BacklogHysteresis;
-    fleet.modeControl.quantumMs = 0.5;
-    sim::FleetResult backlog = sim::runFleet(fleet);
-    report("backlog-hysteresis", backlog);
-
-    // Slack-driven: the CPI²-style monitor watches completion latencies
-    // against a sojourn-time target and walks its decision ladder.
-    fleet.modeControl.kind = sim::ModePolicyKind::SlackDriven;
-    fleet.modeControl.monitor.qosTarget =
-        3.0 * fixed.dispatch.latencyMs.median;
-    sim::FleetResult slack = sim::runFleet(fleet);
-    report("slack-driven", slack);
+    std::vector<scenario::Sweep::Outcome> outcomes = sweep.run();
+    for (const scenario::Sweep::Outcome &o : outcomes)
+        report(o.variant.coords[0].second.c_str(), o.result);
 
     std::printf("\nB-mode trades LS capacity for batch throughput; the "
                 "dynamic policies engage it\nonly while the dispatch "
                 "backlog (or measured tail slack) says the QoS target\n"
                 "can absorb the hit, and buy the capacity back with "
                 "Q-mode under pressure.\n");
+    const sim::FleetResult &backlog = outcomes[1].result;
     std::printf("\nPer-core capacity by mode (req/ms): ");
     for (std::size_t i = 0; i < backlog.modeRates.size(); ++i)
         std::printf("core %zu %.2f/%.2f/%.2f  ", i,

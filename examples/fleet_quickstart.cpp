@@ -1,8 +1,12 @@
 /**
  * @file
  * Fleet quickstart: simulate an 8-core rack of Stretch SMT cores, each
- * colocating web_search with a batch co-runner, and compare the three
+ * colocating web_search with a batch co-runner, and compare the four
  * request-placement policies on the same arrival stream.
+ *
+ * Written against the scenario API: one scenario describes the rack, a
+ * one-axis sweep replays it under each policy, and the shared
+ * operating-point cache measures every core exactly once.
  *
  * Build:  cmake -B build -S . && cmake --build build -j
  * Run:    ./build/fleet_quickstart
@@ -10,8 +14,7 @@
 
 #include <cstdio>
 
-#include "sim/fleet.h"
-#include "sim/runner.h"
+#include "scenario/scenario.h"
 
 using namespace stretch;
 
@@ -27,48 +30,57 @@ main()
     base.warmupOps = 4000;
     base.measureOps = 10000;
 
-    sim::FleetConfig fleet = sim::homogeneousFleet(8, base);
-    for (std::size_t i = 4; i < fleet.cores.size(); ++i)
-        fleet.cores[i].workload1 = "mcf"; // memory-hungry co-runner
-    fleet.requests = 20000;
-    fleet.threads = 0; // one worker per hardware thread
+    scenario::ScenarioBuilder builder;
+    builder.name("fleet-quickstart").cores(8, base).requests(20000);
+    for (std::size_t i = 4; i < 8; ++i)
+        builder.coRunner(i, "mcf"); // memory-hungry co-runner
+    scenario::Scenario rack = builder.expect();
 
-    // The per-core microarchitectural simulations are independent of the
-    // placement policy, so run them once and re-dispatch the request
-    // stream over the measured capacities for each policy.
-    fleet.policy = sim::PlacementPolicy::QosAware;
-    sim::FleetResult r = sim::runFleet(fleet);
+    scenario::Sweep sweep(rack);
+    sweep.over(
+        "policy",
+        {{"round-robin",
+          [](scenario::Scenario &s) {
+              s.placement = sim::PlacementPolicy::RoundRobin;
+          }},
+         {"least-loaded",
+          [](scenario::Scenario &s) {
+              s.placement = sim::PlacementPolicy::LeastLoaded;
+          }},
+         {"power-of-two",
+          [](scenario::Scenario &s) {
+              s.placement = sim::PlacementPolicy::PowerOfTwo;
+          }},
+         {"qos-aware", [](scenario::Scenario &s) {
+              s.placement = sim::PlacementPolicy::QosAware;
+          }}});
+
+    std::vector<scenario::Sweep::Outcome> outcomes = sweep.run();
 
     std::printf("8-core fleet: web_search colocated with zeusmp/mcf\n\n");
     std::printf("%-14s %10s %10s %12s %12s %12s %12s\n", "policy", "LS UIPC",
                 "batch UIPC", "median ms", "p99 ms", "p99.9 ms", "kreq/s");
-
-    for (sim::PlacementPolicy policy : {sim::PlacementPolicy::RoundRobin,
-                                        sim::PlacementPolicy::LeastLoaded,
-                                        sim::PlacementPolicy::PowerOfTwo,
-                                        sim::PlacementPolicy::QosAware}) {
-        sim::DispatchOutcome d =
-            policy == fleet.policy
-                ? r.dispatch
-                : sim::dispatchRequests(r.serviceRatePerMs, policy,
-                                        fleet.requests,
-                                        fleet.arrivalRatePerMs, fleet.seed);
+    for (const scenario::Sweep::Outcome &o : outcomes) {
+        const sim::DispatchOutcome &d = o.result.dispatch;
         std::printf("%-14s %10.3f %10.3f %12.3f %12.3f %12.3f %12.1f\n",
-                    sim::toString(policy), r.totalLsUipc, r.totalBatchUipc,
-                    d.latencyMs.median, d.latencyMs.p99, d.latencyMs.p999,
+                    o.variant.coords[0].second.c_str(), o.result.totalLsUipc,
+                    o.result.totalBatchUipc, d.latencyMs.median,
+                    d.latencyMs.p99, d.latencyMs.p999,
                     d.throughputRps / 1000.0);
     }
 
+    const scenario::Sweep::Outcome &qos = outcomes.back();
     std::printf("\nPer-core placement under qos-aware dispatch:\n");
-    for (std::size_t i = 0; i < r.cores.size(); ++i) {
+    for (std::size_t i = 0; i < qos.result.cores.size(); ++i) {
         std::printf("  core %zu (%s): %6lu requests, %5.1f%% busy, "
                     "LS uipc %.3f\n",
-                    i, fleet.cores[i].workload1.c_str(),
-                    static_cast<unsigned long>(r.dispatch.placed[i]),
-                    r.dispatch.elapsedMs > 0.0
-                        ? 100.0 * r.dispatch.busyMs[i] / r.dispatch.elapsedMs
+                    i, rack.cores[i].workload1.c_str(),
+                    static_cast<unsigned long>(qos.result.dispatch.placed[i]),
+                    qos.result.dispatch.elapsedMs > 0.0
+                        ? 100.0 * qos.result.dispatch.busyMs[i] /
+                              qos.result.dispatch.elapsedMs
                         : 0.0,
-                    r.cores[i].uipc[0]);
+                    qos.result.cores[i].uipc[0]);
     }
     return 0;
 }

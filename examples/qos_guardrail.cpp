@@ -8,16 +8,18 @@
  * the Stretch ladder against each class's own SLO, so the tightest class
  * on a core drives its mode register and co-runner throttle.
  *
- * Printed: per-class latency percentiles and SLO attainment under
- * class-aware routing vs. class-blind round-robin over the same tagged
- * request stream, plus the fleet's mode/throttle residency. The second
- * fleet run reuses the first run's measured operating points via the
- * process-wide OperatingPointCache.
+ * Written against the scenario API. Three runs over one scenario:
+ * class-aware routing vs. class-blind round-robin on the same shared
+ * tagged stream (a placement sweep), then the same fleet with the
+ * analytics tenant sourcing its *own bursty arrival process* — the
+ * per-class arrival superposition — to show what a misbehaving tenant's
+ * bursts do to each class's tail. Every run after the first reuses the
+ * measured operating points via the process-wide cache.
  */
 
 #include <cstdio>
 
-#include "sim/fleet.h"
+#include "scenario/scenario.h"
 #include "sim/op_point_cache.h"
 
 using namespace stretch;
@@ -60,28 +62,37 @@ main()
     slots[2].bmodeSkew = slots[3].bmodeSkew = SkewConfig{40, 88};
     slots[2].qmodeSkew = slots[3].qmodeSkew = SkewConfig{88, 40};
 
-    sim::FleetConfig fleet = sim::heterogeneousFleet(base, slots);
-    fleet.cores[2].workload1 = "zeusmp";
-    fleet.cores[3].workload1 = "zeusmp";
-    fleet.requests = 30000;
-
     // The two tenants: search must answer in 6 ms at p99; analytics
-    // tolerates 75 ms and may be shed under pressure.
-    fleet.classes =
-        workloads::ServiceClassRegistry::searchAnalyticsPair(6.0, 75.0);
+    // tolerates 75 ms and may be shed under pressure. Slack-driven
+    // control with per-class monitors: each core's ladder reacts to the
+    // tightest class it is serving.
+    scenario::Scenario fleet =
+        scenario::ScenarioBuilder()
+            .name("qos-guardrail")
+            .cores(base, slots)
+            .coRunner(2, "zeusmp")
+            .coRunner(3, "zeusmp")
+            .requests(30000)
+            .serviceClasses(
+                workloads::ServiceClassRegistry::searchAnalyticsPair(6.0,
+                                                                     75.0))
+            .placement(sim::PlacementPolicy::ClassAware)
+            .modePolicy(sim::ModePolicyKind::SlackDriven)
+            .controlQuantum(0.5)
+            .expect();
 
-    // Slack-driven control with per-class monitors: each core's ladder
-    // reacts to the tightest class it is serving.
-    fleet.modeControl.kind = sim::ModePolicyKind::SlackDriven;
-    fleet.modeControl.quantumMs = 0.5;
-
-    fleet.policy = sim::PlacementPolicy::ClassAware;
-    sim::FleetResult aware = sim::runFleet(fleet);
-
-    // Class-blind baseline over the same tagged stream (operating-point
-    // measurements are cache hits the second time around).
-    fleet.policy = sim::PlacementPolicy::RoundRobin;
-    sim::FleetResult blind = sim::runFleet(fleet);
+    scenario::Sweep sweep(fleet);
+    sweep.over("routing",
+               {{"class-aware",
+                 [](scenario::Scenario &s) {
+                     s.placement = sim::PlacementPolicy::ClassAware;
+                 }},
+                {"round-robin", [](scenario::Scenario &s) {
+                     s.placement = sim::PlacementPolicy::RoundRobin;
+                 }}});
+    std::vector<scenario::Sweep::Outcome> outcomes = sweep.run();
+    const sim::FleetResult &aware = outcomes[0].result;
+    const sim::FleetResult &blind = outcomes[1].result;
 
     std::printf("two-class fleet: 2 big + 2 little cores, search SLO "
                 "6 ms @ p99, analytics SLO 75 ms @ p95\n\n");
@@ -90,6 +101,20 @@ main()
     std::printf("\n");
     printPerClass("class-blind round-robin (same tagged stream):",
                   blind.dispatch);
+
+    // Per-class arrival processes: let the analytics tenant source its
+    // own MMPP-2 burst stream (4x rate surges) while search stays
+    // Poisson — the superposition replaces the shared weighted stream,
+    // and the guardrail has to absorb a misbehaving co-tenant.
+    scenario::Scenario bursty = fleet;
+    bursty.classes.classAt(bursty.classes.byName("analytics"))
+        .traffic.burstRatio = 4.0;
+    bursty.perClassArrivals = true;
+    sim::FleetResult surge = scenario::run(bursty);
+    std::printf("\n");
+    printPerClass("class-aware routing, analytics sourcing its own 4x "
+                  "burst stream:",
+                  surge.dispatch);
 
     const sim::DispatchOutcome &d = aware.dispatch;
     double residency[sim::numStretchModes] = {};

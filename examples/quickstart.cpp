@@ -4,6 +4,9 @@
  * then engage Stretch B-mode and watch the batch thread speed up while the
  * latency-sensitive thread gives up only a sliver of performance.
  *
+ * Written against the scenario API: one core, a measurement-only stream
+ * (requests = 0), and a one-axis sweep over the ROB organisation.
+ *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
@@ -11,36 +14,52 @@
 
 #include <cstdio>
 
-#include "sim/runner.h"
+#include "scenario/scenario.h"
 
 int
 main()
 {
     using namespace stretch;
 
-    // Baseline: Intel-style equal ROB partitioning (96/96).
     sim::RunConfig cfg;
     cfg.workload0 = "web_search"; // latency-sensitive thread
     cfg.workload1 = "zeusmp";     // batch co-runner
-    cfg.rob.kind = sim::RobConfigKind::EqualPartition;
 
-    sim::RunResult baseline = sim::run(cfg);
+    // Measurement-only scenario: no request stream, just the per-core
+    // microarchitectural operating point.
+    scenario::Scenario base = scenario::ScenarioBuilder()
+                                  .name("quickstart")
+                                  .addCore(cfg)
+                                  .requests(0)
+                                  .expect();
 
-    // Stretch B-mode with the paper's headline skew: 56 ROB entries for
-    // the latency-sensitive thread, 136 for the batch thread.
-    cfg.rob.kind = sim::RobConfigKind::Asymmetric;
-    cfg.rob.limit0 = 56;
-    cfg.rob.limit1 = 136;
+    scenario::Sweep sweep(base);
+    sweep.over("rob",
+               {{"equal partition (96-96)",
+                 [](scenario::Scenario &s) {
+                     s.cores[0].rob.kind = sim::RobConfigKind::EqualPartition;
+                 }},
+                {"Stretch B-mode (56-136)", [](scenario::Scenario &s) {
+                     // The paper's headline skew: 56 ROB entries for the
+                     // latency-sensitive thread, 136 for the batch thread.
+                     s.cores[0].rob.kind = sim::RobConfigKind::Asymmetric;
+                     s.cores[0].rob.limit0 = 56;
+                     s.cores[0].rob.limit1 = 136;
+                 }}});
 
-    sim::RunResult bmode = sim::run(cfg);
+    std::vector<scenario::Sweep::Outcome> outcomes = sweep.run();
 
     std::printf("SMT colocation: web_search (LS) + zeusmp (batch)\n\n");
     std::printf("%-28s %10s %10s\n", "configuration", "LS UIPC",
                 "batch UIPC");
-    std::printf("%-28s %10.3f %10.3f\n", "equal partition (96-96)",
-                baseline.uipc[0], baseline.uipc[1]);
-    std::printf("%-28s %10.3f %10.3f\n", "Stretch B-mode (56-136)",
-                bmode.uipc[0], bmode.uipc[1]);
+    for (const scenario::Sweep::Outcome &o : outcomes) {
+        std::printf("%-28s %10.3f %10.3f\n",
+                    o.variant.coords[0].second.c_str(),
+                    o.result.cores[0].uipc[0], o.result.cores[0].uipc[1]);
+    }
+
+    const sim::RunResult &baseline = outcomes[0].result.cores[0];
+    const sim::RunResult &bmode = outcomes[1].result.cores[0];
     std::printf("\nbatch speedup: %+.1f%%   LS slowdown: %+.1f%%\n",
                 (bmode.uipc[1] / baseline.uipc[1] - 1.0) * 100.0,
                 (bmode.uipc[0] / baseline.uipc[0] - 1.0) * 100.0);

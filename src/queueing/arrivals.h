@@ -17,9 +17,13 @@
 #ifndef STRETCH_QUEUEING_ARRIVALS_H
 #define STRETCH_QUEUEING_ARRIVALS_H
 
+#include <cstdint>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "queueing/diurnal.h"
+#include "queueing/event_engine.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -121,10 +125,15 @@ class DiurnalArrivals
      * @param peak_rate_per_ms arrival rate at 100% trace load.
      * @param trace 24-hour load curve (fractions of the daily peak).
      * @param ms_per_hour simulated milliseconds per trace hour.
+     * @param phase_hours phase offset: the process experiences the trace
+     *        shifted this many hours into the future (e.g. a service
+     *        class whose user base lives six time zones away). The trace
+     *        is periodic, so any value is legal.
      */
     DiurnalArrivals(double peak_rate_per_ms, const DiurnalTrace &trace,
-                    double ms_per_hour)
-        : trace(trace), peak(peak_rate_per_ms), msPerHour(ms_per_hour)
+                    double ms_per_hour, double phase_hours = 0.0)
+        : trace(trace), peak(peak_rate_per_ms), msPerHour(ms_per_hour),
+          phaseHours(phase_hours)
     {
         STRETCH_ASSERT(peak > 0.0, "peak arrival rate must be positive");
         STRETCH_ASSERT(ms_per_hour > 0.0, "ms-per-hour must be positive");
@@ -140,7 +149,7 @@ class DiurnalArrivals
             double d = rng.exponential(1.0 / peak);
             gap += d;
             clock += d;
-            if (rng.uniform() < trace.loadAt(clock / msPerHour))
+            if (rng.uniform() < trace.loadAt(clock / msPerHour + phaseHours))
                 return gap;
         }
     }
@@ -148,13 +157,14 @@ class DiurnalArrivals
     /** Simulated time of the last candidate drawn (ms). */
     double clockMs() const { return clock; }
 
-    /** Trace hour corresponding to the internal clock. */
-    double hourNow() const { return clock / msPerHour; }
+    /** Trace hour corresponding to the internal clock (phase applied). */
+    double hourNow() const { return clock / msPerHour + phaseHours; }
 
   private:
     DiurnalTrace trace;
     double peak;
     double msPerHour;
+    double phaseHours;
     double clock = 0.0;
 };
 
@@ -183,13 +193,14 @@ class ArrivalProcess
                                            dwell_low_ms, dwell_high_ms));
     }
 
-    /** Diurnal replay peaking at @p peak_rate_per_ms (see DiurnalArrivals). */
+    /** Diurnal replay peaking at @p peak_rate_per_ms (see DiurnalArrivals);
+     *  @p phase_hours shifts this process's view of the trace. */
     static ArrivalProcess
     diurnal(double peak_rate_per_ms, const DiurnalTrace &trace,
-            double ms_per_hour)
+            double ms_per_hour, double phase_hours = 0.0)
     {
-        return ArrivalProcess(
-            DiurnalArrivals(peak_rate_per_ms, trace, ms_per_hour));
+        return ArrivalProcess(DiurnalArrivals(peak_rate_per_ms, trace,
+                                              ms_per_hour, phase_hours));
     }
 
     /** Next interarrival gap in milliseconds. */
@@ -204,6 +215,75 @@ class ArrivalProcess
         std::variant<PoissonArrivals, MmppArrivals, DiurnalArrivals>;
     explicit ArrivalProcess(Impl impl) : impl(std::move(impl)) {}
     Impl impl;
+};
+
+/**
+ * Superposition of per-class arrival processes: every class owns an
+ * independent `ArrivalProcess` (its own rate, burstiness, and diurnal
+ * phase) driving a decorrelated RNG stream, and the merged stream is
+ * produced by next-arrival competition — each class keeps a pending
+ * next-arrival time, the earliest one wins the slot (ties to the lowest
+ * class id), and only the winner draws its next gap.
+ *
+ * This is the exact superposition of the component processes (for
+ * Poisson components it reduces to a Poisson process at the summed
+ * rate), so one fleet can serve classes with *different* traffic shapes
+ * — a bursty tenant beside a smooth one, or two geographies whose days
+ * are phase-shifted — without any class seeing another's randomness.
+ *
+ * Determinism: the merged stream is a pure function of the per-class
+ * (process, Rng) pairs handed in. The instance keeps an internal clock,
+ * so one instance must serve one monotone arrival stream.
+ */
+class ClassArrivalSuperposition
+{
+  public:
+    /** One class's component stream: its process and its own RNG. */
+    struct Stream
+    {
+        ArrivalProcess process;
+        Rng rng;
+    };
+
+    /** @param streams index-matched to class ids (at least one). */
+    explicit ClassArrivalSuperposition(std::vector<Stream> streams)
+        : classStreams(std::move(streams))
+    {
+        STRETCH_ASSERT(!classStreams.empty(),
+                       "superposition needs at least one class stream");
+        nextAtMs.reserve(classStreams.size());
+        for (Stream &s : classStreams)
+            nextAtMs.push_back(s.process.next(s.rng));
+    }
+
+    /** Next merged arrival: gap since the previous merged arrival plus
+     *  the winning class's id — exactly the engine's joint-draw type,
+     *  so the instance plugs straight into
+     *  `EventEngine::Callbacks::nextArrival`. */
+    EventEngine::Arrival
+    next()
+    {
+        std::size_t win = 0;
+        for (std::size_t k = 1; k < nextAtMs.size(); ++k) {
+            if (nextAtMs[k] < nextAtMs[win])
+                win = k;
+        }
+        EventEngine::Arrival out;
+        out.gapMs = nextAtMs[win] - clock;
+        out.classId = static_cast<std::uint32_t>(win);
+        clock = nextAtMs[win];
+        Stream &s = classStreams[win];
+        nextAtMs[win] = clock + s.process.next(s.rng);
+        return out;
+    }
+
+    /** Number of component class streams. */
+    std::size_t streamCount() const { return classStreams.size(); }
+
+  private:
+    std::vector<Stream> classStreams;
+    std::vector<double> nextAtMs; ///< pending arrival per class
+    double clock = 0.0;           ///< time of the last merged arrival
 };
 
 } // namespace stretch::queueing

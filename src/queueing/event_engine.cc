@@ -80,9 +80,15 @@ EventEngine::drainUntil(double t, const Callbacks &cb)
 void
 EventEngine::run(std::uint64_t requests, const Callbacks &cb)
 {
-    STRETCH_ASSERT(cb.nextGap && cb.nextDemand && cb.place && cb.finish,
-                   "engine callbacks nextGap/nextDemand/place/finish are "
-                   "required");
+    STRETCH_ASSERT(cb.nextDemand && cb.place && cb.finish,
+                   "engine callbacks nextDemand/place/finish are required");
+    STRETCH_ASSERT(static_cast<bool>(cb.nextGap) !=
+                       static_cast<bool>(cb.nextArrival),
+                   "set exactly one arrival source: nextGap or the joint "
+                   "nextArrival");
+    STRETCH_ASSERT(!(cb.nextArrival && cb.nextClass),
+                   "nextArrival already carries the class tag; nextClass "
+                   "must be empty");
     STRETCH_ASSERT(cb.quantumMs >= 0.0, "negative control quantum");
     // Fresh simulation state: a reused engine must not leak the previous
     // run's queues, makespan, or undelivered events.
@@ -93,10 +99,20 @@ EventEngine::run(std::uint64_t requests, const Callbacks &cb)
 
     double now = 0.0;
     for (std::uint64_t i = 0; i < requests; ++i) {
-        double gap = cb.nextGap();
+        double gap;
+        std::uint32_t cls;
+        if (cb.nextArrival) {
+            // Superposed per-class streams: the winning class's process
+            // fixes the gap and the tag jointly.
+            Arrival a = cb.nextArrival();
+            gap = a.gapMs;
+            cls = a.classId;
+        } else {
+            gap = cb.nextGap();
+            cls = cb.nextClass ? cb.nextClass() : 0;
+        }
         STRETCH_ASSERT(gap >= 0.0, "negative interarrival gap");
         double t = now + gap;
-        std::uint32_t cls = cb.nextClass ? cb.nextClass() : 0;
         double demand = cb.nextDemand(cls);
         STRETCH_ASSERT(demand >= 0.0, "negative demand");
 

@@ -11,9 +11,11 @@
  * react at quantum boundaries (e.g. dynamic Stretch mode control) only
  * ever see telemetry from the simulated past.
  *
- * Callers supply the stochastic pieces (interarrival gaps, service
- * demands), the placement decision, and the demand-to-finish-time model
- * (service rate scaling, duty-cycle modulation) as callbacks.
+ * Callers supply the stochastic pieces (interarrival gaps — either one
+ * stream or the joint gap+class draw of a per-class superposition — and
+ * service demands), the placement decision, and the
+ * demand-to-finish-time model (service rate scaling, duty-cycle
+ * modulation) as callbacks.
  *
  * Units: every time value crossing this interface — gaps, finish times,
  * backlogs, capacity charges, quantum boundaries, `elapsedMs()` — is in
@@ -82,12 +84,30 @@ struct Completion
 class EventEngine
 {
   public:
-    /** The caller-supplied model. nextGap/nextDemand/place/finish are
-     *  required; the rest are optional. */
+    /** One merged arrival from a superposed multi-class stream (see
+     *  Callbacks::nextArrival). */
+    struct Arrival
+    {
+        double gapMs = 0.0;     ///< gap since the previous arrival (ms)
+        std::uint32_t classId = 0; ///< class whose process won the slot
+    };
+
+    /** The caller-supplied model. Arrivals come from either nextGap
+     *  (+ optional nextClass) or the joint nextArrival — exactly one of
+     *  nextGap/nextArrival must be set; nextDemand/place/finish are
+     *  always required; the rest are optional. */
     struct Callbacks
     {
         /** Next interarrival gap in milliseconds. */
         std::function<double()> nextGap;
+        /**
+         * Joint draw of the next gap AND class tag — the superposition
+         * of per-class arrival processes, where the class winning the
+         * next-arrival competition determines both (e.g. a
+         * `ClassArrivalSuperposition`). Mutually exclusive with
+         * nextGap/nextClass: set exactly one arrival source.
+         */
+        std::function<Arrival()> nextArrival;
         /**
          * Service-class tag of the next request (drawn after the gap,
          * before the demand, so demand models may condition on the

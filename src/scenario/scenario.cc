@@ -1,0 +1,689 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "sim/op_point_cache.h"
+#include "util/log.h"
+
+namespace stretch::scenario
+{
+
+namespace
+{
+
+/** printf-lite formatting of a double for error messages. */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+/** What a calibration probe measures: the fleet's summed baseline
+ *  capacity and the flat-load p99 latency scale. */
+struct Calibration
+{
+    double capacityPerMs = 0.0;
+    double p99Ms = 0.0;
+};
+
+/**
+ * Run (or recall) the static calibration probe for a scenario. The
+ * probe is a pure function of the cores/slots and the probe stream
+ * parameters — sweeping many variants over the same fleet would
+ * otherwise replay an identical probe dispatch per variant, so the
+ * result is memoised process-wide (the operating-point measurements
+ * underneath are cached too; this just skips the repeat queueing
+ * simulation). Keyed on every result-changing input, including the
+ * global quick factor.
+ */
+Calibration
+calibrate(const Scenario &s)
+{
+    std::ostringstream key;
+    for (const sim::RunConfig &core : s.cores)
+        key << sim::OperatingPointCache::key(core) << '#';
+    for (const sim::CoreSlot &slot : s.slots) {
+        key << slot.robEntries << ':' << slot.lsqEntries << ':'
+            << slot.bmodeSkew.lsRobEntries << ':'
+            << slot.bmodeSkew.batchRobEntries << ':'
+            << slot.qmodeSkew.lsRobEntries << ':'
+            << slot.qmodeSkew.batchRobEntries << '#';
+    }
+    key << '|' << s.calibrationRequests << '|' << s.opsPerRequest << '|'
+        << s.seed;
+
+    static std::mutex mu;
+    static std::map<std::string, Calibration> memo;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = memo.find(key.str());
+        if (it != memo.end())
+            return it->second;
+    }
+
+    sim::FleetConfig probe;
+    probe.cores = s.cores;
+    probe.slots = s.slots;
+    probe.requests = s.calibrationRequests;
+    probe.opsPerRequest = s.opsPerRequest;
+    probe.seed = s.seed;
+    probe.reuseOperatingPoints = s.reuseOperatingPoints;
+    probe.threads = s.threads;
+    sim::FleetResult flat = sim::runFleet(probe);
+
+    Calibration cal;
+    for (double r : flat.serviceRatePerMs)
+        cal.capacityPerMs += r;
+    cal.p99Ms = flat.dispatch.latencyMs.p99;
+    STRETCH_ASSERT(cal.capacityPerMs > 0.0,
+                   "calibration probe measured no serving capacity");
+
+    std::lock_guard<std::mutex> lock(mu);
+    return memo.emplace(key.str(), cal).first->second;
+}
+
+} // namespace
+
+bool
+Scenario::needsCalibration() const
+{
+    return meanLoadFraction > 0.0 || peakLoadFraction > 0.0 ||
+           qosTargetFactor > 0.0 ||
+           (dayRequests && arrivalRatePerMs <= 0.0);
+}
+
+std::string
+BuildResult::errorText() const
+{
+    std::string joined;
+    for (const std::string &e : errors) {
+        if (!joined.empty())
+            joined += "; ";
+        joined += e;
+    }
+    return joined;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::name(std::string n)
+{
+    draft.name = std::move(n);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::cores(unsigned n, const sim::RunConfig &base)
+{
+    draft.cores.clear();
+    draft.slots.clear();
+    draft.cores.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        sim::RunConfig core = base;
+        core.seed = mixSeed(base.seed, i);
+        draft.cores.push_back(std::move(core));
+    }
+    // Adopt the base seed for the dispatch streams too (the
+    // homogeneousFleet convention) — unless the caller pinned one
+    // explicitly with seed(), which wins regardless of call order.
+    if (!seedExplicit)
+        draft.seed = base.seed;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::cores(const sim::RunConfig &base,
+                       std::vector<sim::CoreSlot> slots)
+{
+    cores(static_cast<unsigned>(slots.size()), base);
+    draft.slots = std::move(slots);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::addCore(sim::RunConfig core)
+{
+    draft.cores.push_back(std::move(core));
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::coRunner(std::size_t index, std::string workload)
+{
+    STRETCH_ASSERT(index < draft.cores.size(),
+                   "coRunner(", index, ") before a core with that index "
+                   "exists: add the topology first");
+    draft.cores[index].workload1 = std::move(workload);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::requests(std::uint64_t n)
+{
+    draft.requests = n;
+    draft.dayRequests = false;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::dayLongStream()
+{
+    draft.dayRequests = true;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::arrivalRate(double rate_per_ms)
+{
+    draft.arrivalRatePerMs = rate_per_ms;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::meanLoad(double fraction)
+{
+    draft.meanLoadFraction = fraction;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::peakLoad(double fraction)
+{
+    draft.peakLoadFraction = fraction;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::burstiness(double ratio, double dwell_low_ms,
+                            double dwell_high_ms)
+{
+    draft.burstRatio = ratio;
+    draft.dwellLowMs = dwell_low_ms;
+    draft.dwellHighMs = dwell_high_ms;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::diurnal(queueing::DiurnalTrace trace, double ms_per_hour)
+{
+    draft.trace = std::move(trace);
+    draft.msPerHour = ms_per_hour;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::serviceClass(workloads::ServiceClass cls)
+{
+    pendingClasses.push_back(std::move(cls));
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::serviceClasses(
+    const workloads::ServiceClassRegistry &registry)
+{
+    for (const workloads::ServiceClass &cls : registry.all())
+        pendingClasses.push_back(cls);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::perClassArrivals(bool on)
+{
+    perClassOverride = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::placement(sim::PlacementPolicy policy)
+{
+    draft.placement = policy;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::classRouting(sim::ClassRouterConfig cfg)
+{
+    draft.classRouting = cfg;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::modeControl(sim::ModeControlConfig cfg)
+{
+    draft.control = cfg;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::modePolicy(sim::ModePolicyKind kind)
+{
+    draft.control.kind = kind;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::staticMode(StretchMode mode)
+{
+    draft.control.staticMode = mode;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::controlQuantum(double quantum_ms)
+{
+    draft.control.quantumMs = quantum_ms;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::honorThrottle(bool on)
+{
+    draft.control.honorThrottle = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::qosTarget(double target_ms)
+{
+    draft.control.monitor.qosTarget = target_ms;
+    draft.qosTargetFactor = 0.0;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::qosTargetFactor(double factor)
+{
+    draft.qosTargetFactor = factor;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::timeline(double bucket_ms)
+{
+    draft.timelineBucketMs = bucket_ms;
+    draft.hourlyTimeline = false;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::hourlyTimeline()
+{
+    draft.hourlyTimeline = true;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::opsPerRequest(double ops)
+{
+    draft.opsPerRequest = ops;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::seed(std::uint64_t s)
+{
+    draft.seed = s;
+    seedExplicit = true;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::threads(unsigned n)
+{
+    draft.threads = n;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::reuseOperatingPoints(bool on)
+{
+    draft.reuseOperatingPoints = on;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::calibrationRequests(std::uint64_t n)
+{
+    draft.calibrationRequests = n;
+    return *this;
+}
+
+BuildResult
+ScenarioBuilder::tryBuild() const
+{
+    BuildResult result;
+    std::vector<std::string> &errors = result.errors;
+
+    // --- Topology -------------------------------------------------------
+    if (draft.cores.empty()) {
+        errors.push_back("scenario topology is empty: add cores(n, base), "
+                         "cores(base, slots), or addCore(...) before "
+                         "building");
+    }
+    for (std::size_t i = 0; i < draft.cores.size(); ++i) {
+        if (draft.cores[i].workload0.empty()) {
+            errors.push_back("core " + std::to_string(i) +
+                             " has no latency-sensitive workload: set "
+                             "RunConfig::workload0");
+        }
+    }
+    if (!draft.slots.empty() && draft.slots.size() != draft.cores.size()) {
+        errors.push_back(
+            "slots (" + std::to_string(draft.slots.size()) +
+            ") are not index-matched to cores (" +
+            std::to_string(draft.cores.size()) +
+            "): pass one CoreSlot per core or none");
+    }
+
+    // --- Traffic --------------------------------------------------------
+    int rate_specs = (draft.arrivalRatePerMs > 0.0 ? 1 : 0) +
+                     (draft.meanLoadFraction > 0.0 ? 1 : 0) +
+                     (draft.peakLoadFraction > 0.0 ? 1 : 0);
+    if (rate_specs > 1) {
+        errors.push_back("pick one rate specification: arrivalRate(), "
+                         "meanLoad(), or peakLoad()");
+    }
+    if (draft.arrivalRatePerMs < 0.0)
+        errors.push_back("arrival rate must be positive (got " +
+                         num(draft.arrivalRatePerMs) + " req/ms)");
+    if (draft.meanLoadFraction < 0.0)
+        errors.push_back("mean-load fraction must be positive (got " +
+                         num(draft.meanLoadFraction) + ")");
+    if (draft.peakLoadFraction < 0.0)
+        errors.push_back("peak-load fraction must be positive (got " +
+                         num(draft.peakLoadFraction) + ")");
+    if (draft.burstRatio < 1.0) {
+        errors.push_back("burstiness ratio must be >= 1 (1 = Poisson; got " +
+                         num(draft.burstRatio) + ")");
+    }
+    if (draft.dwellLowMs <= 0.0 || draft.dwellHighMs <= 0.0)
+        errors.push_back("MMPP-2 state dwells must be positive");
+    if (draft.trace && draft.msPerHour <= 0.0) {
+        errors.push_back("diurnal replay needs a positive ms-per-hour "
+                         "(got " + num(draft.msPerHour) + ")");
+    }
+    if (draft.dayRequests && !draft.trace) {
+        errors.push_back("dayLongStream() sizes the stream to a replayed "
+                         "24 h day: call diurnal(trace, msPerHour) too");
+    }
+    if (draft.hourlyTimeline && !draft.trace) {
+        errors.push_back("hourlyTimeline() buckets by replayed hour: call "
+                         "diurnal(trace, msPerHour) too, or use "
+                         "timeline(bucketMs)");
+    }
+    if (draft.timelineBucketMs < 0.0)
+        errors.push_back("timeline bucket must be >= 0 ms");
+
+    // --- Service classes ------------------------------------------------
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < pendingClasses.size(); ++i) {
+        const workloads::ServiceClass &c = pendingClasses[i];
+        std::string who = c.name.empty()
+                              ? "service class " + std::to_string(i)
+                              : "service class '" + c.name + "'";
+        if (c.name.empty())
+            errors.push_back(who + " has no name");
+        for (std::size_t j = 0; j < i; ++j) {
+            if (!c.name.empty() && pendingClasses[j].name == c.name) {
+                errors.push_back("duplicate " + who);
+                break;
+            }
+        }
+        if (c.weight <= 0.0)
+            errors.push_back(who + " needs a positive mix weight (got " +
+                             num(c.weight) + ")");
+        weight_sum += std::max(0.0, c.weight);
+        if (c.sloMs <= 0.0) {
+            errors.push_back(who + " has SLO <= 0 ms (got " + num(c.sloMs) +
+                             "): set ServiceClass::sloMs to the positive "
+                             "sojourn-time target");
+        }
+        if (c.tailPercentile <= 0.0 || c.tailPercentile > 100.0)
+            errors.push_back(who + " needs a tail percentile in (0, 100]");
+        if (c.meanDemand <= 0.0)
+            errors.push_back(who + " needs a positive mean demand");
+        if (c.logSigma < 0.0)
+            errors.push_back(who + " has a negative lognormal sigma");
+        if (c.shape == workloads::DemandShape::Pareto &&
+            c.paretoAlpha <= 1.0) {
+            errors.push_back(who + " draws Pareto demands but its tail "
+                                   "index is <= 1 (infinite mean): raise "
+                                   "paretoAlpha above 1");
+        }
+        if (c.batchTolerance < 0.0 || c.batchTolerance > 1.0)
+            errors.push_back(who + " needs a batch tolerance in [0, 1]");
+        if (c.traffic.rateShare < 0.0)
+            errors.push_back(who + " has a negative arrival rate share");
+        if (c.traffic.burstRatio < 1.0)
+            errors.push_back(who + " needs a per-class burst ratio >= 1");
+        if (c.traffic.dwellLowMs <= 0.0 || c.traffic.dwellHighMs <= 0.0)
+            errors.push_back(who + " needs positive per-class MMPP dwells");
+    }
+    if (!pendingClasses.empty() && weight_sum <= 0.0) {
+        errors.push_back("class weights sum to 0: every service class "
+                         "needs a positive ServiceClass::weight for the "
+                         "arrival mix");
+    }
+
+    bool custom_traffic = false;
+    for (const workloads::ServiceClass &c : pendingClasses)
+        custom_traffic |= c.traffic.customised();
+    if (pendingClasses.empty()) {
+        if (perClassOverride.value_or(false)) {
+            errors.push_back("per-class arrival processes need service "
+                             "classes: add serviceClass(...) or drop "
+                             "perClassArrivals()");
+        }
+        if (draft.placement == sim::PlacementPolicy::ClassAware) {
+            errors.push_back("class-aware placement needs at least one "
+                             "service class: add serviceClass(...) or pick "
+                             "another placement policy");
+        }
+    }
+    if (custom_traffic && perClassOverride && !*perClassOverride) {
+        errors.push_back("a service class customises its traffic (rate "
+                         "share, burstiness, or diurnal phase) but "
+                         "per-class arrivals are explicitly disabled: drop "
+                         "perClassArrivals(false) or reset the class "
+                         "traffic to defaults");
+    }
+
+    // --- Control --------------------------------------------------------
+    if (draft.control.kind != sim::ModePolicyKind::Static &&
+        draft.control.quantumMs <= 0.0) {
+        errors.push_back("dynamic mode control needs a positive control "
+                         "quantum (got " + num(draft.control.quantumMs) +
+                         " ms)");
+    }
+    if (draft.control.flushCostMs < 0.0)
+        errors.push_back("mode-change flush cost must be >= 0 ms");
+    if (draft.control.kind == sim::ModePolicyKind::BacklogHysteresis &&
+        !(draft.control.engageBelowMs < draft.control.disengageAboveMs &&
+          draft.control.disengageAboveMs < draft.control.qmodeAboveMs)) {
+        errors.push_back("backlog thresholds must be ordered engageBelowMs "
+                         "< disengageAboveMs < qmodeAboveMs");
+    }
+    if (draft.qosTargetFactor < 0.0)
+        errors.push_back("qosTargetFactor must be positive (got " +
+                         num(draft.qosTargetFactor) + ")");
+
+    // --- Runtime --------------------------------------------------------
+    if (draft.opsPerRequest <= 0.0)
+        errors.push_back("opsPerRequest must be positive");
+    if (draft.calibrationRequests == 0 && draft.needsCalibration()) {
+        errors.push_back("this scenario calibrates against a probe run "
+                         "(load fraction, qosTargetFactor, or day-sized "
+                         "stream): calibrationRequests must be positive");
+    }
+
+    if (!errors.empty())
+        return result;
+
+    Scenario built = draft;
+    for (const workloads::ServiceClass &c : pendingClasses)
+        built.classes.add(c);
+    built.perClassArrivals = perClassOverride.value_or(custom_traffic);
+    result.scenario = std::move(built);
+    return result;
+}
+
+Scenario
+ScenarioBuilder::expect() const
+{
+    BuildResult result = tryBuild();
+    if (!result.ok())
+        STRETCH_FATAL("invalid scenario '", draft.name, "': ",
+                      result.errorText());
+    return std::move(*result.scenario);
+}
+
+sim::FleetConfig
+lower(const Scenario &s)
+{
+    // Patches may have mutated a built scenario; re-assert the invariants
+    // the lowering depends on (full validation lives in the builder).
+    STRETCH_ASSERT(!s.cores.empty(), "scenario has no cores");
+    STRETCH_ASSERT(s.slots.empty() || s.slots.size() == s.cores.size(),
+                   "scenario slots not index-matched to cores");
+    STRETCH_ASSERT(s.burstRatio >= 1.0, "scenario burst ratio < 1");
+    STRETCH_ASSERT(!s.perClassArrivals || !s.classes.empty(),
+                   "per-class arrivals without service classes");
+
+    sim::FleetConfig fleet;
+    fleet.cores = s.cores;
+    fleet.slots = s.slots;
+    fleet.policy = s.placement;
+    fleet.requests = s.requests;
+    fleet.arrivalRatePerMs = s.arrivalRatePerMs;
+    fleet.opsPerRequest = s.opsPerRequest;
+    fleet.seed = s.seed;
+    fleet.burstRatio = s.burstRatio;
+    fleet.dwellLowMs = s.dwellLowMs;
+    fleet.dwellHighMs = s.dwellHighMs;
+    fleet.diurnalTrace = s.trace;
+    fleet.msPerHour = s.msPerHour;
+    fleet.timelineBucketMs =
+        s.hourlyTimeline ? s.msPerHour : s.timelineBucketMs;
+    fleet.classes = s.classes;
+    fleet.perClassArrivals = s.perClassArrivals;
+    fleet.classRouting = s.classRouting;
+    fleet.modeControl = s.control;
+    fleet.reuseOperatingPoints = s.reuseOperatingPoints;
+    fleet.threads = s.threads;
+
+    if (!s.needsCalibration()) {
+        if (s.dayRequests) {
+            // needsCalibration() is false, so the peak rate is explicit.
+            STRETCH_ASSERT(s.trace,
+                           "day-sized stream without a diurnal trace");
+            fleet.requests = static_cast<std::uint64_t>(
+                fleet.arrivalRatePerMs * s.trace->meanLoad() * 24.0 *
+                s.msPerHour);
+        }
+        return fleet;
+    }
+
+    // Calibration probe: a static, class-less, flat-load run over the
+    // same cores. Its operating-point measurements flow through the
+    // shared cache and the aggregate (capacity, p99) pair is memoised,
+    // so the real run — and every sweep variant over the same cores —
+    // pays for the probe exactly once.
+    Calibration cal = calibrate(s);
+    double capacity = cal.capacityPerMs;
+
+    if (s.meanLoadFraction > 0.0) {
+        // Under a trace the dispatcher rate is the PEAK rate; divide by
+        // the mean trace load so the targeted MEAN load holds.
+        fleet.arrivalRatePerMs =
+            s.trace ? s.meanLoadFraction * capacity / s.trace->meanLoad()
+                    : s.meanLoadFraction * capacity;
+    } else if (s.peakLoadFraction > 0.0) {
+        fleet.arrivalRatePerMs = s.peakLoadFraction * capacity;
+    }
+
+    if (s.qosTargetFactor > 0.0)
+        fleet.modeControl.monitor.qosTarget = s.qosTargetFactor * cal.p99Ms;
+
+    if (s.dayRequests) {
+        STRETCH_ASSERT(s.trace, "day-sized stream without a diurnal trace");
+        double peak = fleet.arrivalRatePerMs > 0.0
+                          ? fleet.arrivalRatePerMs
+                          : 0.7 * capacity / s.trace->meanLoad();
+        fleet.requests = static_cast<std::uint64_t>(
+            peak * s.trace->meanLoad() * 24.0 * s.msPerHour);
+    }
+    return fleet;
+}
+
+sim::FleetResult
+run(const Scenario &s)
+{
+    return sim::runFleet(lower(s));
+}
+
+Sweep::Sweep(Scenario base) : base(std::move(base)) {}
+
+Sweep &
+Sweep::over(std::string axis, std::vector<Point> points)
+{
+    STRETCH_ASSERT(!points.empty(), "sweep axis '", axis,
+                   "' has no points");
+    for (const Point &p : points)
+        STRETCH_ASSERT(p.apply, "sweep axis '", axis, "' point '", p.label,
+                       "' has no patch");
+    axes.push_back({std::move(axis), std::move(points)});
+    return *this;
+}
+
+std::vector<Sweep::Variant>
+Sweep::variants() const
+{
+    std::vector<Variant> out;
+    std::size_t total = 1;
+    for (const Axis &a : axes)
+        total *= a.points.size();
+    out.reserve(total);
+
+    // Odometer over the axes, last axis fastest.
+    std::vector<std::size_t> idx(axes.size(), 0);
+    for (std::size_t v = 0; v < total; ++v) {
+        Variant var;
+        var.scenario = base;
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            const Point &p = axes[a].points[idx[a]];
+            var.coords.emplace_back(axes[a].name, p.label);
+            if (!var.label.empty())
+                var.label += ", ";
+            var.label += axes[a].name + "=" + p.label;
+            p.apply(var.scenario);
+        }
+        out.push_back(std::move(var));
+        for (std::size_t a = axes.size(); a-- > 0;) {
+            if (++idx[a] < axes[a].points.size())
+                break;
+            idx[a] = 0;
+        }
+    }
+    return out;
+}
+
+std::vector<Sweep::Outcome>
+Sweep::run() const
+{
+    std::vector<Outcome> out;
+    std::vector<Variant> vars = variants();
+    out.reserve(vars.size());
+    for (Variant &v : vars) {
+        sim::FleetResult r = scenario::run(v.scenario);
+        out.push_back({std::move(v), std::move(r)});
+    }
+    return out;
+}
+
+} // namespace stretch::scenario

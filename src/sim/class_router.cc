@@ -13,8 +13,9 @@ ClassRouter::ClassRouter(const workloads::ServiceClassRegistry &classes,
                          const std::vector<double> &baseline_rate_per_ms,
                          const ClassRouterConfig &cfg,
                          const queueing::DiurnalTrace *trace,
-                         double ms_per_hour)
-    : classes(classes), cfg(cfg), trace(trace), msPerHour(ms_per_hour)
+                         double ms_per_hour, bool per_class_phases)
+    : classes(classes), cfg(cfg), trace(trace), msPerHour(ms_per_hour),
+      perClassPhases(per_class_phases)
 {
     STRETCH_ASSERT(!classes.empty(), "class router needs at least one "
                                      "service class");
@@ -54,7 +55,22 @@ ClassRouter::reservedAt(double now) const
 {
     if (!trace)
         return true; // no trace: steady load, assume peak hours
-    return trace->loadAt(now / msPerHour) >= cfg.reserveLoadCutoff;
+    double hour = now / msPerHour;
+    double load = trace->loadAt(hour);
+    if (perClassPhases) {
+        // With per-class arrival processes a hot class's day may be
+        // phase-shifted; reserve the big cores whenever any hot class is
+        // near ITS peak, not just when the raw fleet trace is.
+        for (std::size_t k = 0; k < classes.size(); ++k) {
+            auto cls = static_cast<workloads::ClassId>(k);
+            if (!isHot(cls))
+                continue;
+            load = std::max(
+                load, trace->loadAt(
+                          hour + classes.at(cls).traffic.phaseOffsetHours));
+        }
+    }
+    return load >= cfg.reserveLoadCutoff;
 }
 
 bool

@@ -88,12 +88,18 @@ class ClassRouter
      * @param trace optional diurnal trace for hour-aware reservation
      *        (nullptr = always reserved); must outlive the router.
      * @param ms_per_hour simulated milliseconds per trace hour.
+     * @param per_class_phases honour each class's diurnal phase offset
+     *        (`ServiceClass::traffic.phaseOffsetHours`) when judging the
+     *        reservation: with per-class arrival processes a hot class
+     *        whose day is shifted peaks at different wall-clock hours,
+     *        so the big-core reservation follows the busiest *hot*
+     *        class's shifted load rather than the raw fleet trace.
      */
     ClassRouter(const workloads::ServiceClassRegistry &classes,
                 const std::vector<double> &baseline_rate_per_ms,
                 const ClassRouterConfig &cfg,
                 const queueing::DiurnalTrace *trace = nullptr,
-                double ms_per_hour = 1.0);
+                double ms_per_hour = 1.0, bool per_class_phases = false);
 
     /**
      * Core for a class-@p cls request of @p demand arriving at @p now,
@@ -124,6 +130,7 @@ class ClassRouter
     ClassRouterConfig cfg;
     const queueing::DiurnalTrace *trace;
     double msPerHour;
+    bool perClassPhases;
     std::vector<std::size_t> big;    ///< fastest serving cores
     std::vector<std::size_t> little; ///< remaining serving cores
 };

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "queueing/arrivals.h"
 #include "queueing/event_engine.h"
@@ -201,8 +203,12 @@ dispatchRequests(const DispatchConfig &cfg)
     const ModeControlConfig &mc = cfg.control;
     const bool dynamic = mc.kind != ModePolicyKind::Static;
     const bool classesOn = !cfg.classes.empty();
+    const bool perClassArr = cfg.perClassArrivals;
     STRETCH_ASSERT(cfg.policy != PlacementPolicy::ClassAware || classesOn,
                    "class-aware placement needs a non-empty class "
+                   "registry");
+    STRETCH_ASSERT(!perClassArr || classesOn,
+                   "per-class arrival processes need a non-empty class "
                    "registry");
     if (mc.kind == ModePolicyKind::BacklogHysteresis) {
         STRETCH_ASSERT(mc.engageBelowMs < mc.disengageAboveMs &&
@@ -246,8 +252,18 @@ dispatchRequests(const DispatchConfig &cfg)
     out.modeStats.assign(n, CoreModeStats{});
     for (std::size_t c = 0; c < n; ++c)
         out.modeStats[c].finalMode = mode[c];
-    out.offeredRatePerMs =
-        cfg.arrivalRatePerMs > 0.0 ? cfg.arrivalRatePerMs : 0.7 * capacity;
+    if (cfg.arrivalRatePerMs > 0.0) {
+        out.offeredRatePerMs = cfg.arrivalRatePerMs;
+    } else if (cfg.diurnalTrace) {
+        // Default load under a trace: the offered rate is the peak rate,
+        // so normalise by the trace's mean load to keep the effective
+        // MEAN load at 70% of capacity regardless of the trace shape
+        // (an explicit rate stays the peak, documented in the config).
+        out.offeredRatePerMs =
+            0.7 * capacity / cfg.diurnalTrace->meanLoad();
+    } else {
+        out.offeredRatePerMs = 0.7 * capacity;
+    }
     if (cfg.requests == 0)
         return out;
 
@@ -255,21 +271,49 @@ dispatchRequests(const DispatchConfig &cfg)
     Rng demandsRng(cfg.seed, demandStream);
     Rng placementRng(cfg.seed, placementStream);
     Rng classRng(cfg.seed, classStream);
-    queueing::ArrivalProcess arrivals = [&] {
-        if (cfg.diurnalTrace) {
-            // Diurnal replay: the offered rate is the PEAK rate; the trace
-            // modulates the instantaneous rate below it.
-            return queueing::ArrivalProcess::diurnal(
-                out.offeredRatePerMs, *cfg.diurnalTrace, cfg.msPerHour);
+    // Arrival source: one fleet-wide stream (weighted class tagging), or
+    // — under perClassArrivals — one independent stream per class,
+    // superposed by next-arrival competition. The per-class RNGs derive
+    // from (seed, arrival stream, class id), so adding a class never
+    // perturbs another class's draws.
+    std::optional<queueing::ArrivalProcess> arrivals;
+    std::optional<queueing::ClassArrivalSuperposition> classArrivals;
+    if (perClassArr) {
+        std::vector<double> shares = cfg.classes.arrivalShares();
+        std::vector<queueing::ClassArrivalSuperposition::Stream> streams;
+        streams.reserve(shares.size());
+        for (std::size_t k = 0; k < shares.size(); ++k) {
+            const workloads::ClassTraffic &t =
+                cfg.classes.at(static_cast<workloads::ClassId>(k)).traffic;
+            double rate = shares[k] * out.offeredRatePerMs;
+            Rng rng(cfg.seed, mixSeed(arrivalStream, k));
+            auto process = [&]() -> queueing::ArrivalProcess {
+                if (cfg.diurnalTrace) {
+                    return queueing::ArrivalProcess::diurnal(
+                        rate, *cfg.diurnalTrace, cfg.msPerHour,
+                        t.phaseOffsetHours);
+                }
+                if (t.burstRatio > 1.0) {
+                    return queueing::ArrivalProcess::mmpp(
+                        rate, t.burstRatio, t.dwellLowMs, t.dwellHighMs);
+                }
+                return queueing::ArrivalProcess::poisson(rate);
+            }();
+            streams.push_back({std::move(process), rng});
         }
-        if (cfg.burstRatio > 1.0) {
-            return queueing::ArrivalProcess::mmpp(out.offeredRatePerMs,
-                                                  cfg.burstRatio,
-                                                  cfg.dwellLowMs,
-                                                  cfg.dwellHighMs);
-        }
-        return queueing::ArrivalProcess::poisson(out.offeredRatePerMs);
-    }();
+        classArrivals.emplace(std::move(streams));
+    } else if (cfg.diurnalTrace) {
+        // Diurnal replay: the offered rate is the PEAK rate; the trace
+        // modulates the instantaneous rate below it.
+        arrivals = queueing::ArrivalProcess::diurnal(
+            out.offeredRatePerMs, *cfg.diurnalTrace, cfg.msPerHour);
+    } else if (cfg.burstRatio > 1.0) {
+        arrivals = queueing::ArrivalProcess::mmpp(
+            out.offeredRatePerMs, cfg.burstRatio, cfg.dwellLowMs,
+            cfg.dwellHighMs);
+    } else {
+        arrivals = queueing::ArrivalProcess::poisson(out.offeredRatePerMs);
+    }
     // Unit-mean demand in "mean-request units": the serving core's rate
     // converts it to milliseconds, so a fast core finishes the same
     // request sooner.
@@ -294,7 +338,8 @@ dispatchRequests(const DispatchConfig &cfg)
             baseline[c] = cfg.rates[c].baseline;
         router = std::make_unique<ClassRouter>(
             cfg.classes, baseline, cfg.classRouting,
-            cfg.diurnalTrace ? &*cfg.diurnalTrace : nullptr, cfg.msPerHour);
+            cfg.diurnalTrace ? &*cfg.diurnalTrace : nullptr, cfg.msPerHour,
+            perClassArr);
     }
 
     // Co-runner throttle state (the CPI² corrective action): engaged and
@@ -341,9 +386,13 @@ dispatchRequests(const DispatchConfig &cfg)
     std::size_t rr_next = 0; // round-robin cursor over serving cores
 
     queueing::EventEngine::Callbacks cb;
-    cb.nextGap = [&] { return arrivals.next(arrivalsRng); };
-    if (classesOn)
-        cb.nextClass = [&] { return cfg.classes.sample(classRng); };
+    if (perClassArr) {
+        cb.nextArrival = [&] { return classArrivals->next(); };
+    } else {
+        cb.nextGap = [&] { return arrivals->next(arrivalsRng); };
+        if (classesOn)
+            cb.nextClass = [&] { return cfg.classes.sample(classRng); };
+    }
     cb.nextDemand = [&](std::uint32_t cls) {
         if (classesOn)
             return cfg.classes.drawDemand(cls, demandsRng);
@@ -815,10 +864,13 @@ runFleet(const FleetConfig &cfg)
     dispatch.arrivalRatePerMs = cfg.arrivalRatePerMs;
     dispatch.seed = cfg.seed;
     dispatch.burstRatio = cfg.burstRatio;
+    dispatch.dwellLowMs = cfg.dwellLowMs;
+    dispatch.dwellHighMs = cfg.dwellHighMs;
     dispatch.diurnalTrace = cfg.diurnalTrace;
     dispatch.msPerHour = cfg.msPerHour;
     dispatch.timelineBucketMs = cfg.timelineBucketMs;
     dispatch.classes = cfg.classes;
+    dispatch.perClassArrivals = cfg.perClassArrivals;
     dispatch.classRouting = cfg.classRouting;
     dispatch.control = cfg.modeControl;
     fleet.dispatch = dispatchRequests(dispatch);

@@ -231,9 +231,13 @@ struct DispatchConfig
 
     std::uint64_t requests = 20000; ///< length of the dispatched stream
     /**
-     * Fleet-wide arrival rate (requests per millisecond); 0 selects 70% of
-     * the aggregate baseline service capacity, a moderately-loaded
-     * datacenter operating point.
+     * Fleet-wide arrival rate (requests per millisecond); 0 targets 70%
+     * of the aggregate baseline service capacity as the *mean* offered
+     * load, a moderately-loaded datacenter operating point. Under a
+     * diurnal trace an explicit rate is the PEAK rate (the rate at 100%
+     * trace load), while the 0 default is normalised by the trace's
+     * mean load — peak = 0.7 x capacity / meanLoad() — so the effective
+     * mean load stays at 70% regardless of the trace shape.
      */
     double arrivalRatePerMs = 0.0;
     std::uint64_t seed = 42; ///< arrival/demand/placement stream seed
@@ -255,8 +259,9 @@ struct DispatchConfig
     /// @name Diurnal load replay.
     /// When a trace is set it overrides burstRatio: arrivals become a
     /// non-homogeneous Poisson process whose rate follows the 24-hour
-    /// curve, and `arrivalRatePerMs` (or the 70%-capacity default) is the
-    /// PEAK rate — the rate at 100% trace load.
+    /// curve. An explicit `arrivalRatePerMs` is the PEAK rate (the rate
+    /// at 100% trace load); the 0 default targets 70% *mean* load (see
+    /// arrivalRatePerMs above).
     /// @{
     std::optional<queueing::DiurnalTrace> diurnalTrace;
     /** Time compression: simulated milliseconds per trace hour. */
@@ -282,6 +287,21 @@ struct DispatchConfig
      * tightest class on the core.
      */
     workloads::ServiceClassRegistry classes;
+
+    /**
+     * Give every service class its own arrival process (requires a
+     * non-empty class registry). Each class sources an independent
+     * stream — its normalised share of the fleet arrival rate
+     * (`ServiceClassRegistry::arrivalShares`), its own burstiness, and
+     * its own diurnal phase offset, all from `ServiceClass::traffic` —
+     * and the engine consumes the superposition by per-class
+     * next-arrival competition. The fleet-wide burstRatio/dwell knobs
+     * are then ignored (each class carries its own), while diurnalTrace
+     * and arrivalRatePerMs keep their fleet-wide meaning (the trace and
+     * the total rate the shares divide). False keeps the historical
+     * single shared stream with weighted class tagging.
+     */
+    bool perClassArrivals = false;
 
     /** Routing/admission knobs for PlacementPolicy::ClassAware. */
     ClassRouterConfig classRouting;
@@ -425,13 +445,20 @@ struct FleetConfig
     /// @name Request-dispatch phase.
     /// @{
     std::uint64_t requests = 20000; ///< length of the dispatched stream
-    /** Fleet-wide arrival rate (req/ms); 0 = 70% of measured capacity. */
+    /** Fleet-wide arrival rate (req/ms); 0 targets 70% of measured
+     *  capacity as the *mean* load (trace-normalised under diurnal
+     *  replay — see DispatchConfig::arrivalRatePerMs). */
     double arrivalRatePerMs = 0.0;
     /** Mean latency-sensitive request length in committed instructions. */
     double opsPerRequest = 500000.0;
     std::uint64_t seed = 42; ///< dispatch arrival/demand stream seed
     /** Arrival burstiness handed to the dispatcher (1 = Poisson). */
     double burstRatio = 1.0;
+    /// @name MMPP-2 state dwells (burstRatio > 1 only).
+    /// @{
+    double dwellLowMs = 200.0;
+    double dwellHighMs = 40.0;
+    /// @}
     /** Diurnal load replay (overrides burstRatio; arrivalRatePerMs
      *  becomes the peak rate — see DispatchConfig). */
     std::optional<queueing::DiurnalTrace> diurnalTrace;
@@ -444,6 +471,10 @@ struct FleetConfig
     /** Request service classes handed to the dispatcher (empty = the
      *  historical untagged stream; see DispatchConfig::classes). */
     workloads::ServiceClassRegistry classes;
+
+    /** Per-class arrival processes (requires classes; see
+     *  DispatchConfig::perClassArrivals). */
+    bool perClassArrivals = false;
 
     /** Routing/admission knobs for PlacementPolicy::ClassAware. */
     ClassRouterConfig classRouting;

@@ -1,9 +1,64 @@
 #include "sim/op_point_cache.h"
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 namespace stretch::sim
 {
+
+namespace
+{
+
+/** Doubles cross the disk as raw bit patterns (decimal uint64), so a
+ *  reloaded result is bit-identical to the measured one. */
+std::uint64_t
+doubleBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+}
+
+void
+writeStats(std::ostream &os, const ThreadStats &s)
+{
+    os << s.committedOps << ' ' << s.fetchedOps << ' ' << s.branches << ' '
+       << s.branchMispredicts << ' ' << s.btbTargetMisses << ' ' << s.loads
+       << ' ' << s.stores << ' ' << s.dispatchStallRob << ' '
+       << s.dispatchStallLsq << ' ' << s.robOccupancySum;
+    for (std::uint64_t m : s.mlpCycles)
+        os << ' ' << m;
+    os << ' ' << s.fetchStallICache << ' ' << s.fetchStallBranchResolve
+       << ' ' << s.fetchStallBtbRedirect << ' ' << s.fetchStallFlush;
+}
+
+bool
+readStats(std::istream &is, ThreadStats &s)
+{
+    is >> s.committedOps >> s.fetchedOps >> s.branches >>
+        s.branchMispredicts >> s.btbTargetMisses >> s.loads >> s.stores >>
+        s.dispatchStallRob >> s.dispatchStallLsq >> s.robOccupancySum;
+    for (std::uint64_t &m : s.mlpCycles)
+        is >> m;
+    is >> s.fetchStallICache >> s.fetchStallBranchResolve >>
+        s.fetchStallBtbRedirect >> s.fetchStallFlush;
+    return static_cast<bool>(is);
+}
+
+} // namespace
 
 OperatingPointCache &
 OperatingPointCache::instance()
@@ -78,6 +133,107 @@ OperatingPointCache::size() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return memo.size();
+}
+
+bool
+OperatingPointCache::saveTo(const std::string &path) const
+{
+    // Snapshot under the lock, write outside it.
+    std::map<std::string, RunResult> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        snapshot = memo;
+    }
+
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return false;
+        os << "stretch-oppoint-cache " << formatVersion << '\n';
+        for (const auto &[key, r] : snapshot) {
+            os << "key " << key << '\n';
+            os << "uipc " << doubleBits(r.uipc[0]) << ' '
+               << doubleBits(r.uipc[1]) << '\n';
+            os << "cycles " << r.totalCycles << '\n';
+            os << "miss " << r.l1dMissCount[0] << ' ' << r.l1dMissCount[1]
+               << ' ' << r.l1iMissCount[0] << ' ' << r.l1iMissCount[1]
+               << ' ' << r.llcMissCount[0] << ' ' << r.llcMissCount[1]
+               << '\n';
+            for (ThreadId t = 0; t < numSmtThreads; ++t) {
+                os << "stats " << unsigned(t) << ' ';
+                writeStats(os, r.stats[t]);
+                os << '\n';
+            }
+            os << "end\n";
+        }
+        if (!os)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+OperatingPointCache::loadFrom(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return 0; // missing file: fresh measurement
+    std::string magic;
+    int version = -1;
+    is >> magic >> version;
+    if (!is || magic != "stretch-oppoint-cache" || version != formatVersion)
+        return 0; // stale or foreign format: fresh measurement
+    is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+
+    // Parse the whole file into a staging map first: any corruption
+    // discards the load wholesale rather than admitting half a file.
+    std::map<std::string, RunResult> staged;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line.rfind("key ", 0) != 0)
+            return 0;
+        std::string key = line.substr(4);
+        RunResult r;
+        std::string tag;
+        std::uint64_t bits0 = 0, bits1 = 0;
+        if (!(is >> tag) || tag != "uipc" || !(is >> bits0 >> bits1))
+            return 0;
+        r.uipc[0] = bitsDouble(bits0);
+        r.uipc[1] = bitsDouble(bits1);
+        if (!(is >> tag) || tag != "cycles" || !(is >> r.totalCycles))
+            return 0;
+        if (!(is >> tag) || tag != "miss" ||
+            !(is >> r.l1dMissCount[0] >> r.l1dMissCount[1] >>
+              r.l1iMissCount[0] >> r.l1iMissCount[1] >> r.llcMissCount[0] >>
+              r.llcMissCount[1]))
+            return 0;
+        for (ThreadId t = 0; t < numSmtThreads; ++t) {
+            unsigned tid = 0;
+            if (!(is >> tag) || tag != "stats" || !(is >> tid) ||
+                tid != unsigned(t) || !readStats(is, r.stats[t]))
+                return 0;
+        }
+        if (!(is >> tag) || tag != "end")
+            return 0;
+        is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+        staged.emplace(std::move(key), r);
+    }
+
+    std::size_t added = 0;
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &[key, r] : staged) {
+        // Existing entries win: the in-process result is as fresh.
+        if (memo.emplace(key, r).second)
+            ++added;
+    }
+    return added;
 }
 
 void

@@ -22,6 +22,13 @@
  * of the same key both simulate (the duplicate result is discarded), so
  * correctness never depends on the pool schedule. Returned references
  * stay valid until `clear()` (std::map never invalidates on insert).
+ *
+ * Persistence: `saveTo`/`loadFrom` round-trip the memo through a
+ * versioned text file (doubles as raw uint64 bit patterns, so reloaded
+ * results are bit-identical), keyed by the same config keys — which
+ * embed the quick factor, so a file saved under one sampling scale
+ * never answers another. A missing, corrupt, or format-stale file
+ * loads nothing and the cache falls back to fresh measurement.
  */
 
 #ifndef STRETCH_SIM_OP_POINT_CACHE_H
@@ -67,6 +74,31 @@ class OperatingPointCache
     /** Drop every entry and reset the counters (tests that must observe
      *  two real measurements call this between runs). */
     void clear();
+
+    /// @name Disk persistence (cross-process reuse of measured points).
+    /// @{
+    /**
+     * Write every cached entry to @p path (atomic enough for the
+     * single-writer bench/CI use case: written to a temp file in the
+     * same directory, then renamed). Returns false when the file cannot
+     * be written.
+     */
+    bool saveTo(const std::string &path) const;
+
+    /**
+     * Merge the entries of a file previously written by saveTo into the
+     * cache (existing entries win — the in-process result is at least
+     * as fresh). Returns the number of entries added; a missing file, a
+     * format-version mismatch, or any parse corruption loads nothing
+     * (returns 0) and leaves the cache untouched, so callers simply
+     * fall back to fresh measurement.
+     */
+    std::size_t loadFrom(const std::string &path);
+
+    /** On-disk format version written by saveTo; bump when the entry
+     *  layout (or anything the key omits) changes meaning. */
+    static constexpr int formatVersion = 1;
+    /// @}
 
   private:
     OperatingPointCache() = default;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -17,7 +18,21 @@ namespace stretch::sim
 namespace
 {
 
-double g_quickFactor = 1.0;
+/**
+ * Sampling-scale factor; 1.0 unless overridden. Initialised once from
+ * the STRETCH_QUICK_FACTOR environment variable so flag-less programs
+ * (the examples, CI smoke runs) can be scaled down without code
+ * changes; `setQuickFactor` (the benches' --quick/--paper flags) takes
+ * precedence once called. Out-of-range env values fall back to 1.0.
+ */
+double g_quickFactor = [] {
+    const char *env = std::getenv("STRETCH_QUICK_FACTOR");
+    if (!env)
+        return 1.0;
+    char *end = nullptr;
+    double f = std::strtod(env, &end);
+    return end != env && f > 0.0 && f <= 1.0 ? f : 1.0;
+}();
 
 std::uint64_t
 hashName(const std::string &s)

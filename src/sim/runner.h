@@ -144,7 +144,12 @@ RunResult runIsolated(const std::string &workload, const RunConfig &base = {});
 RunResult runIsolatedWithRob(const std::string &workload, unsigned rob_entries,
                              const RunConfig &base = {});
 
-/** Global sampling-scale knob applied by benches' --quick flag. */
+/**
+ * Global sampling-scale knob applied by benches' --quick flag. Its
+ * initial value honours the STRETCH_QUICK_FACTOR environment variable
+ * (a double in (0, 1]), so flag-less programs — the examples, CI smoke
+ * jobs — can be scaled down without code changes.
+ */
 void setQuickFactor(double factor);
 
 /** Current sampling-scale factor (1.0 = full). */

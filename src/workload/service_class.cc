@@ -34,6 +34,13 @@ ServiceClassRegistry::add(ServiceClass cls)
     STRETCH_ASSERT(cls.sloMs > 0.0, "SLO target must be positive");
     STRETCH_ASSERT(cls.tailPercentile > 0.0 && cls.tailPercentile <= 100.0,
                    "tail percentile must be in (0, 100]");
+    STRETCH_ASSERT(cls.traffic.rateShare >= 0.0,
+                   "negative per-class rate share");
+    STRETCH_ASSERT(cls.traffic.burstRatio >= 1.0,
+                   "per-class burst ratio must be >= 1");
+    STRETCH_ASSERT(cls.traffic.dwellLowMs > 0.0 &&
+                       cls.traffic.dwellHighMs > 0.0,
+                   "per-class MMPP dwell times must be positive");
     for (const ServiceClass &existing : classes) {
         STRETCH_ASSERT(existing.name != cls.name,
                        "duplicate service class '", cls.name, "'");
@@ -45,6 +52,13 @@ ServiceClassRegistry::add(ServiceClass cls)
 
 const ServiceClass &
 ServiceClassRegistry::at(ClassId id) const
+{
+    STRETCH_ASSERT(id < classes.size(), "bad service class id ", id);
+    return classes[id];
+}
+
+ServiceClass &
+ServiceClassRegistry::classAt(ClassId id)
 {
     STRETCH_ASSERT(id < classes.size(), "bad service class id ", id);
     return classes[id];
@@ -99,6 +113,36 @@ ServiceClassRegistry::drawDemand(ClassId id, Rng &rng) const
     }
     }
     return c.meanDemand;
+}
+
+std::vector<double>
+ServiceClassRegistry::arrivalShares() const
+{
+    STRETCH_ASSERT(!classes.empty(),
+                   "arrival shares of an empty class registry");
+    std::vector<double> shares;
+    shares.reserve(classes.size());
+    double sum = 0.0;
+    for (const ServiceClass &c : classes) {
+        double s = c.traffic.rateShare > 0.0 ? c.traffic.rateShare
+                                             : c.weight;
+        shares.push_back(s);
+        sum += s;
+    }
+    STRETCH_ASSERT(sum > 0.0, "class arrival shares sum to zero");
+    for (double &s : shares)
+        s /= sum;
+    return shares;
+}
+
+bool
+ServiceClassRegistry::hasCustomTraffic() const
+{
+    for (const ServiceClass &c : classes) {
+        if (c.traffic.customised())
+            return true;
+    }
+    return false;
 }
 
 ServiceClassRegistry

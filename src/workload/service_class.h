@@ -44,6 +44,52 @@ enum class DemandShape
 /** Human-readable shape name. */
 const char *toString(DemandShape shape);
 
+/**
+ * Arrival-process shape of one class's own traffic stream. Honoured only
+ * when the dispatcher runs per-class arrival processes
+ * (`DispatchConfig::perClassArrivals`): each class then sources an
+ * independent stream — its own share of the fleet arrival rate, its own
+ * burstiness, and its own diurnal phase — superposed by next-arrival
+ * competition (`queueing::ClassArrivalSuperposition`). Under the
+ * historical shared stream these fields are ignored.
+ */
+struct ClassTraffic
+{
+    /**
+     * This class's share of the fleet arrival rate, normalised against
+     * the other classes' shares. 0 (the default) falls back to the
+     * class mix weight, so a registry with no explicit shares splits
+     * the rate exactly the way the shared stream's weighted tagging
+     * did.
+     */
+    double rateShare = 0.0;
+
+    /// @name Burstiness of this class's stream (1 = Poisson, > 1 =
+    /// MMPP-2 bursts with the given state dwells).
+    /// @{
+    double burstRatio = 1.0;
+    double dwellLowMs = 200.0;
+    double dwellHighMs = 40.0;
+    /// @}
+
+    /**
+     * Diurnal phase offset in hours: under diurnal replay this class
+     * experiences the fleet trace shifted this many hours into the
+     * future (another geography's day). Ignored without a trace.
+     */
+    double phaseOffsetHours = 0.0;
+
+    /** True when any field departs from the shared-stream defaults
+     *  (used by the scenario layer to decide whether lowering needs
+     *  per-class arrival processes at all). */
+    bool
+    customised() const
+    {
+        return rateShare != 0.0 || burstRatio != 1.0 ||
+               phaseOffsetHours != 0.0;
+    }
+};
+
 /** One named class of latency-sensitive request traffic. */
 struct ServiceClass
 {
@@ -86,6 +132,10 @@ struct ServiceClass
     /** Share of the arrival stream (normalised against the registry's
      *  total weight). */
     double weight = 1.0;
+
+    /** Shape of this class's own arrival stream (per-class arrival
+     *  processes only; see ClassTraffic). */
+    ClassTraffic traffic;
 };
 
 /**
@@ -105,6 +155,12 @@ class ServiceClassRegistry
     /** Class by id (fatal on out-of-range). */
     const ServiceClass &at(ClassId id) const;
 
+    /** Mutable class by id (fatal on out-of-range) — for scenario/sweep
+     *  patches tweaking a class in place (e.g. its traffic shape). The
+     *  mix weight is read through the registry's cached sum, so patches
+     *  must not change `weight`; everything else is fair game. */
+    ServiceClass &classAt(ClassId id);
+
     /** Id of the named class (fatal on unknown name). */
     ClassId byName(const std::string &name) const;
 
@@ -123,6 +179,20 @@ class ServiceClassRegistry
     /** Draw one service demand from the class's distribution
      *  (mean-request units, mean == meanDemand). */
     double drawDemand(ClassId id, Rng &rng) const;
+
+    /**
+     * Normalised per-class arrival-rate shares for per-class arrival
+     * processes: a class contributes its `traffic.rateShare` when set,
+     * its mix weight otherwise, and the vector is normalised to sum to
+     * 1 — so a registry with no explicit shares splits the fleet rate
+     * exactly as the shared stream's weighted tagging did in
+     * expectation.
+     */
+    std::vector<double> arrivalShares() const;
+
+    /** True when any class customises its own arrival stream (rate
+     *  share, burstiness, or diurnal phase; see ClassTraffic). */
+    bool hasCustomTraffic() const;
 
     /** All classes in id order. */
     const std::vector<ServiceClass> &all() const { return classes; }

@@ -5,7 +5,10 @@
  * sensitivity, and runFleet's use of the memo.
  */
 
+#include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
+#include <string>
 
 #include "sim/fleet.h"
 #include "sim/op_point_cache.h"
@@ -109,6 +112,87 @@ TEST(OperatingPointCache, RunFleetSkipsRemeasuringIdenticalSlots)
     EXPECT_EQ(cache.hits(), hits_before);
     EXPECT_EQ(cache.misses(), misses_after_first);
     EXPECT_EQ(third.dispatch.latencyMs.p99, first.dispatch.latencyMs.p99);
+}
+
+TEST(OperatingPointCache, DiskRoundTripIsBitIdentical)
+{
+    OperatingPointCache &cache = OperatingPointCache::instance();
+    cache.clear();
+
+    RunConfig cfg = smallConfig();
+    RunResult measured = cache.measure(cfg); // copy before clear()
+    RunConfig other = smallConfig();
+    other.seed = 7;
+    cache.measure(other);
+
+    std::string path = ::testing::TempDir() + "op_point_cache_rt.txt";
+    ASSERT_TRUE(cache.saveTo(path));
+
+    // Reload into an empty cache: both entries come back, and a repeat
+    // measurement is a hit with a bit-identical result.
+    cache.clear();
+    EXPECT_EQ(cache.loadFrom(path), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.contains(cfg));
+    const RunResult &reloaded = cache.measure(cfg);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(reloaded.uipc[0], measured.uipc[0]); // bit-identical
+    EXPECT_EQ(reloaded.uipc[1], measured.uipc[1]);
+    EXPECT_EQ(reloaded.totalCycles, measured.totalCycles);
+    EXPECT_EQ(reloaded.stats[0].committedOps, measured.stats[0].committedOps);
+    EXPECT_EQ(reloaded.stats[1].mlpCycles, measured.stats[1].mlpCycles);
+    EXPECT_EQ(reloaded.llcMissCount, measured.llcMissCount);
+
+    // Existing in-process entries win over the file on a merge.
+    EXPECT_EQ(cache.loadFrom(path), 0u);
+    EXPECT_EQ(cache.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(OperatingPointCache, CorruptOrStaleFileLoadsNothing)
+{
+    OperatingPointCache &cache = OperatingPointCache::instance();
+    cache.clear();
+    cache.measure(smallConfig());
+
+    std::string good = ::testing::TempDir() + "op_point_cache_good.txt";
+    ASSERT_TRUE(cache.saveTo(good));
+    cache.clear();
+
+    // Missing file: nothing loads, fresh measurement is the fallback.
+    EXPECT_EQ(cache.loadFrom(good + ".does-not-exist"), 0u);
+
+    // Stale format version: nothing loads.
+    std::string stale = ::testing::TempDir() + "op_point_cache_stale.txt";
+    {
+        std::ifstream in(good);
+        std::ofstream out(stale, std::ios::trunc);
+        std::string line;
+        std::getline(in, line);
+        out << "stretch-oppoint-cache 99999\n";
+        while (std::getline(in, line))
+            out << line << '\n';
+    }
+    EXPECT_EQ(cache.loadFrom(stale), 0u);
+
+    // Truncated body: the whole load is discarded, not half-admitted.
+    std::string corrupt = ::testing::TempDir() + "op_point_cache_bad.txt";
+    {
+        std::ifstream in(good);
+        std::ofstream out(corrupt, std::ios::trunc);
+        std::string line;
+        for (int i = 0; i < 3 && std::getline(in, line); ++i)
+            out << line << '\n';
+    }
+    EXPECT_EQ(cache.loadFrom(corrupt), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // The untouched file still loads fine afterwards.
+    EXPECT_EQ(cache.loadFrom(good), 1u);
+    std::remove(good.c_str());
+    std::remove(stale.c_str());
+    std::remove(corrupt.c_str());
 }
 
 TEST(OperatingPointCache, ClearResetsEverything)
