@@ -3,14 +3,28 @@
  * Simulator performance microbenchmarks (google-benchmark): throughput of
  * the main building blocks, useful for tracking regressions in the
  * simulation infrastructure itself.
+ *
+ * The `BM_Engine*` / `BM_Dispatch*` benches are the end-to-end event
+ * engine throughput trajectory: `items_per_second` is simulated requests
+ * per wall-clock second (each iteration processes a fixed request
+ * count). Snapshots are committed as `BENCH_baseline.json` via
+ * `tools/bench_to_json.py` and guarded by
+ * `tools/bench_regression_check.py` in the CI bench job.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "bp/branch_unit.h"
 #include "cache/memory_hierarchy.h"
 #include "core/smt_core.h"
+#include "queueing/arrivals.h"
+#include "queueing/event_engine.h"
 #include "queueing/request_sim.h"
+#include "sim/fleet.h"
+#include "util/rng.h"
 #include "workload/generator.h"
 #include "workload/profiles.h"
 
@@ -93,6 +107,157 @@ BM_QueueingRequest(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_QueueingRequest);
+
+// ---------------------------------------------------------------------------
+// End-to-end engine throughput (simulated requests per second).
+//
+// These drive the bare EventEngine with realistic callback shapes at
+// ~80% utilisation; items_per_second is the headline
+// simulated-requests-per-second number the perf trajectory tracks.
+
+constexpr std::uint64_t engineRequests = 200000;
+
+/** One-class Poisson arrivals into an 8-server FCFS pool. */
+void
+runEngineOneClass(benchmark::State &state, queueing::EventQueueKind kind)
+{
+    using namespace queueing;
+    constexpr std::size_t servers = 8;
+    constexpr double rate = 4.0; // req/ms; mean demand 1.6ms -> ~80% util
+    EventEngine engine(servers, kind);
+    for (auto _ : state) {
+        Rng rng(42, 0xbe7c);
+        PoissonArrivals arrivals(rate);
+        EventEngine::Callbacks cb;
+        cb.rateHintPerMs = rate;
+        cb.nextGap = [&] { return arrivals.next(rng); };
+        cb.nextDemand = [&](std::uint32_t) { return rng.exponential(1.6); };
+        cb.place = [&](double, double, std::uint32_t) {
+            return engine.leastFreeServer();
+        };
+        cb.finish = [](std::size_t, double start, double demand) {
+            return start + demand;
+        };
+        std::uint64_t completed = 0;
+        cb.onComplete = [&](const Completion &) { ++completed; };
+        engine.run(engineRequests, cb);
+        benchmark::DoNotOptimize(completed);
+    }
+    state.SetItemsProcessed(state.iterations() * engineRequests);
+}
+
+void
+BM_EngineOneClassPoisson(benchmark::State &state)
+{
+    runEngineOneClass(state, queueing::EventQueueKind::Calendar);
+}
+BENCHMARK(BM_EngineOneClassPoisson);
+
+/** The heap reference on the same workload: the trajectory shows the
+ *  calendar-vs-heap ratio over time. */
+void
+BM_EngineHeapOneClassPoisson(benchmark::State &state)
+{
+    runEngineOneClass(state, queueing::EventQueueKind::Heap);
+}
+BENCHMARK(BM_EngineHeapOneClassPoisson);
+
+/** Eight superposed per-class streams (mixed Poisson/MMPP) through the
+ *  tournament-tree merge. */
+void
+BM_EngineEightClassSuperposition(benchmark::State &state)
+{
+    using namespace queueing;
+    constexpr std::size_t servers = 8;
+    constexpr std::size_t classes = 8;
+    EventEngine engine(servers);
+    for (auto _ : state) {
+        Rng rng(42, 0xd00d);
+        std::vector<ClassArrivalSuperposition::Stream> streams;
+        streams.reserve(classes);
+        for (std::size_t k = 0; k < classes; ++k) {
+            double rate = 0.5;
+            ArrivalProcess p =
+                k % 2 ? ArrivalProcess::mmpp(rate, 4.0, 200.0, 40.0)
+                      : ArrivalProcess::poisson(rate);
+            streams.push_back({std::move(p), Rng(42, mixSeed(0xa221, k))});
+        }
+        ClassArrivalSuperposition sup(std::move(streams));
+        EventEngine::Callbacks cb;
+        cb.rateHintPerMs = 4.0;
+        cb.nextArrival = [&] { return sup.next(); };
+        cb.nextDemand = [&](std::uint32_t) { return rng.exponential(1.6); };
+        cb.place = [&](double, double, std::uint32_t) {
+            return engine.leastFreeServer();
+        };
+        cb.finish = [](std::size_t, double start, double demand) {
+            return start + demand;
+        };
+        std::uint64_t completed = 0;
+        cb.onComplete = [&](const Completion &) { ++completed; };
+        engine.run(engineRequests, cb);
+        benchmark::DoNotOptimize(completed);
+    }
+    state.SetItemsProcessed(state.iterations() * engineRequests);
+}
+BENCHMARK(BM_EngineEightClassSuperposition);
+
+/** Quantum-control-heavy: ~5 boundaries per arrival, with backlog reads
+ *  and occasional capacity charges at each — the dynamic-mode-control
+ *  event mix. */
+void
+BM_EngineQuantumControlHeavy(benchmark::State &state)
+{
+    using namespace queueing;
+    constexpr std::size_t servers = 8;
+    constexpr double rate = 4.0;
+    EventEngine engine(servers);
+    for (auto _ : state) {
+        Rng rng(42, 0x9a17);
+        PoissonArrivals arrivals(rate);
+        EventEngine::Callbacks cb;
+        cb.rateHintPerMs = rate;
+        cb.quantumMs = 0.05; // 1/(rate*quantum) = 5 boundaries/arrival
+        cb.nextGap = [&] { return arrivals.next(rng); };
+        cb.nextDemand = [&](std::uint32_t) { return rng.exponential(1.6); };
+        cb.place = [&](double, double, std::uint32_t) {
+            return engine.leastFreeServer();
+        };
+        cb.finish = [](std::size_t, double start, double demand) {
+            return start + demand;
+        };
+        double backlogSum = 0.0;
+        cb.onQuantum = [&](double boundary) {
+            for (std::size_t s = 0; s < servers; ++s)
+                backlogSum += engine.backlogMs(s, boundary);
+            if (rng.uniform() < 0.01)
+                engine.chargeCapacity(rng.below(servers), boundary, 0.2);
+        };
+        engine.run(engineRequests / 4, cb);
+        benchmark::DoNotOptimize(backlogSum);
+    }
+    state.SetItemsProcessed(state.iterations() * (engineRequests / 4));
+}
+BENCHMARK(BM_EngineQuantumControlHeavy);
+
+/** Full fleet dispatcher end-to-end (placement policy, per-request
+ *  lambdas, latency accounting) — the cost the fleet and scenario
+ *  layers actually pay per simulated request. */
+void
+BM_DispatchEightCoreFleet(benchmark::State &state)
+{
+    sim::DispatchConfig cfg;
+    cfg.rates.assign(8, sim::ModeRates::flat(0.55));
+    cfg.requests = engineRequests / 4;
+    cfg.policy = sim::PlacementPolicy::LeastLoaded;
+    cfg.seed = 42;
+    for (auto _ : state) {
+        sim::DispatchOutcome out = sim::dispatchRequests(cfg);
+        benchmark::DoNotOptimize(out.elapsedMs);
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.requests);
+}
+BENCHMARK(BM_DispatchEightCoreFleet);
 
 } // namespace
 

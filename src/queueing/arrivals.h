@@ -34,7 +34,8 @@ namespace stretch::queueing
 class PoissonArrivals
 {
   public:
-    explicit PoissonArrivals(double rate_per_ms) : rate(rate_per_ms)
+    explicit PoissonArrivals(double rate_per_ms)
+        : rate(rate_per_ms), meanGap(1.0 / rate_per_ms)
     {
         STRETCH_ASSERT(rate > 0.0, "arrival rate must be positive");
     }
@@ -43,11 +44,12 @@ class PoissonArrivals
     double
     next(Rng &rng)
     {
-        return rng.exponential(1.0 / rate);
+        return rng.exponential(meanGap);
     }
 
   private:
     double rate;
+    double meanGap; ///< 1/rate, hoisted out of the per-arrival draw
 };
 
 /**
@@ -80,6 +82,8 @@ class MmppArrivals
         double low = mean_rate_per_ms / (w_low + w_high * burst_ratio);
         rate[0] = low;
         rate[1] = low * burst_ratio;
+        meanGap[0] = 1.0 / rate[0];
+        meanGap[1] = 1.0 / rate[1];
     }
 
     /** Next interarrival gap in milliseconds. */
@@ -88,7 +92,7 @@ class MmppArrivals
     {
         double gap = 0.0;
         for (;;) {
-            double to_arrival = rng.exponential(1.0 / rate[state]);
+            double to_arrival = rng.exponential(meanGap[state]);
             double to_switch = rng.exponential(dwell[state]);
             if (to_arrival <= to_switch)
                 return gap + to_arrival;
@@ -102,6 +106,7 @@ class MmppArrivals
 
   private:
     double rate[2] = {1.0, 1.0};
+    double meanGap[2] = {1.0, 1.0}; ///< 1/rate per state, hoisted
     double dwell[2];
     int state = 0;
 };
@@ -210,6 +215,24 @@ class ArrivalProcess
         return std::visit([&rng](auto &arr) { return arr.next(rng); }, impl);
     }
 
+    /**
+     * Draw @p n consecutive gaps into @p out — the exact sequence @p n
+     * calls to next() would produce (same RNG consumption, bit-identical
+     * values), but with the variant dispatch paid once per batch instead
+     * of once per arrival. Hot-loop callers (the fleet dispatcher) refill
+     * a small ring from this.
+     */
+    void
+    fill(Rng &rng, double *out, std::size_t n)
+    {
+        std::visit(
+            [&](auto &arr) {
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] = arr.next(rng);
+            },
+            impl);
+    }
+
   private:
     using Impl =
         std::variant<PoissonArrivals, MmppArrivals, DiurnalArrivals>;
@@ -234,6 +257,13 @@ class ArrivalProcess
  * Determinism: the merged stream is a pure function of the per-class
  * (process, Rng) pairs handed in. The instance keeps an internal clock,
  * so one instance must serve one monotone arrival stream.
+ *
+ * The next-arrival competition is decided by a winner (tournament) tree
+ * over the per-class pending times: picking the winner and replaying its
+ * leaf-to-root path after the redraw costs O(log K) per merged arrival
+ * instead of the O(K) linear scan, while producing the identical winner
+ * — earliest pending time, ties to the lowest class id (see the
+ * tournament-vs-linear equivalence test in tests/test_class_arrivals.cc).
  */
 class ClassArrivalSuperposition
 {
@@ -254,6 +284,7 @@ class ClassArrivalSuperposition
         nextAtMs.reserve(classStreams.size());
         for (Stream &s : classStreams)
             nextAtMs.push_back(s.process.next(s.rng));
+        buildTree();
     }
 
     /** Next merged arrival: gap since the previous merged arrival plus
@@ -263,17 +294,14 @@ class ClassArrivalSuperposition
     EventEngine::Arrival
     next()
     {
-        std::size_t win = 0;
-        for (std::size_t k = 1; k < nextAtMs.size(); ++k) {
-            if (nextAtMs[k] < nextAtMs[win])
-                win = k;
-        }
+        const std::size_t win = leaves == 1 ? 0 : tree[1];
         EventEngine::Arrival out;
         out.gapMs = nextAtMs[win] - clock;
         out.classId = static_cast<std::uint32_t>(win);
         clock = nextAtMs[win];
         Stream &s = classStreams[win];
         nextAtMs[win] = clock + s.process.next(s.rng);
+        replayPath(win);
         return out;
     }
 
@@ -281,9 +309,55 @@ class ClassArrivalSuperposition
     std::size_t streamCount() const { return classStreams.size(); }
 
   private:
+    /** Sentinel leaf id for the power-of-two padding (never wins). */
+    static constexpr std::uint32_t hole = static_cast<std::uint32_t>(-1);
+
+    /** Earlier pending time wins; ties to the lowest class id. This is
+     *  exactly the order the linear scan's strict `<` update induces. */
+    std::uint32_t
+    winner(std::uint32_t a, std::uint32_t b) const
+    {
+        if (a == hole)
+            return b;
+        if (b == hole)
+            return a;
+        if (nextAtMs[a] != nextAtMs[b])
+            return nextAtMs[a] < nextAtMs[b] ? a : b;
+        return a < b ? a : b;
+    }
+
+    void
+    buildTree()
+    {
+        const std::size_t k = classStreams.size();
+        leaves = 1;
+        while (leaves < k)
+            leaves *= 2;
+        if (leaves == 1)
+            return; // single class: no competition to run
+        tree.assign(2 * leaves, hole);
+        for (std::size_t i = 0; i < k; ++i)
+            tree[leaves + i] = static_cast<std::uint32_t>(i);
+        for (std::size_t n = leaves - 1; n >= 1; --n)
+            tree[n] = winner(tree[2 * n], tree[2 * n + 1]);
+    }
+
+    /** Recompute the winners on class @p k's leaf-to-root path after its
+     *  pending time changed. */
+    void
+    replayPath(std::size_t k)
+    {
+        if (leaves == 1)
+            return;
+        for (std::size_t n = (leaves + k) / 2; n >= 1; n /= 2)
+            tree[n] = winner(tree[2 * n], tree[2 * n + 1]);
+    }
+
     std::vector<Stream> classStreams;
     std::vector<double> nextAtMs; ///< pending arrival per class
-    double clock = 0.0;           ///< time of the last merged arrival
+    std::vector<std::uint32_t> tree; ///< winner tree: [1] holds the root
+    std::size_t leaves = 1;          ///< padded leaf count (power of two)
+    double clock = 0.0;              ///< time of the last merged arrival
 };
 
 } // namespace stretch::queueing

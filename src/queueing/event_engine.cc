@@ -11,9 +11,16 @@ namespace stretch::queueing
 namespace
 {
 constexpr double inf = std::numeric_limits<double>::infinity();
-}
 
-EventEngine::EventEngine(std::size_t servers) : srv(servers)
+/** Initial and minimum bucket count (power of two). */
+constexpr std::size_t minBuckets = 64;
+
+/** Floor for the adaptive bucket width (ms). */
+constexpr double minWidth = 1e-9;
+} // namespace
+
+EventEngine::EventEngine(std::size_t servers, EventQueueKind kind)
+    : srv(servers), kind(kind)
 {
     STRETCH_ASSERT(servers > 0, "engine needs at least one server");
 }
@@ -44,27 +51,300 @@ EventEngine::chargeCapacity(std::size_t s, double now, double ms)
     srv[s].freeAtMs = std::max(srv[s].freeAtMs, now) + ms;
 }
 
+// ---------------------------------------------------------------------------
+// Pending-event arena
+
+EventEngine::Slot
+EventEngine::PendingArena::alloc(double finish, std::uint64_t idx,
+                                 std::size_t server_, std::uint32_t cls,
+                                 double arrival, double start)
+{
+    if (!freeSlots.empty()) {
+        Slot s = freeSlots.back();
+        freeSlots.pop_back();
+        finishMs[s] = finish;
+        index[s] = idx;
+        arrivalMs[s] = arrival;
+        startMs[s] = start;
+        server[s] = static_cast<std::uint32_t>(server_);
+        classId[s] = cls;
+        return s;
+    }
+    Slot s = static_cast<Slot>(finishMs.size());
+    finishMs.push_back(finish);
+    index.push_back(idx);
+    arrivalMs.push_back(arrival);
+    startMs.push_back(start);
+    server.push_back(static_cast<std::uint32_t>(server_));
+    classId.push_back(cls);
+    return s;
+}
+
+void
+EventEngine::PendingArena::clear()
+{
+    finishMs.clear();
+    index.clear();
+    arrivalMs.clear();
+    startMs.clear();
+    server.clear();
+    classId.clear();
+    freeSlots.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+
+std::uint64_t
+EventEngine::CalendarQueue::vbOf(double t) const
+{
+    double q = t / width;
+    // Clamp: events absurdly far out (or +inf finish times) all share the
+    // last representable virtual bucket; the exact (finish, index) compare
+    // in the scan still orders them correctly.
+    if (q >= 9.0e18)
+        return static_cast<std::uint64_t>(9.0e18);
+    if (q <= 0.0)
+        return 0;
+    return static_cast<std::uint64_t>(q);
+}
+
+void
+EventEngine::CalendarQueue::reset(double width_ms)
+{
+    buckets.resize(minBuckets);
+    for (auto &b : buckets)
+        b.clear();
+    mask = buckets.size() - 1;
+    width = std::max(width_ms, minWidth);
+    cursorVb = 0;
+    count = 0;
+    minValid = false;
+}
+
+void
+EventEngine::CalendarQueue::push(Slot s, const PendingArena &a)
+{
+    const double t = a.finishMs[s];
+    const std::uint64_t vb = vbOf(t);
+    if (s >= slotVb.size())
+        slotVb.resize(s + 1);
+    slotVb[s] = vb;
+    std::vector<Slot> &b = buckets[vb & mask];
+    b.push_back(s);
+    ++count;
+    // An event earlier than the scan cursor must pull it back, or the
+    // next scan would skip right past it.
+    if (vb < cursorVb)
+        cursorVb = vb;
+    if (minValid) {
+        const double mt = a.finishMs[minSlot];
+        if (t < mt || (t == mt && a.index[s] < a.index[minSlot])) {
+            minSlot = s;
+            minBucket = vb & mask;
+            minPos = b.size() - 1;
+        }
+    }
+    if (count > 2 * buckets.size())
+        rebucket(buckets.size() * 2, a);
+}
+
+void
+EventEngine::CalendarQueue::findMin(const PendingArena &a)
+{
+    minValid = false;
+    if (count == 0)
+        return;
+    // Scan virtual buckets from the cursor: within one full rotation of
+    // the ring, only events belonging to the scanned virtual bucket (the
+    // current "year") qualify, which is what keeps the scan O(1) when the
+    // width matches the event spacing.
+    std::uint64_t vb = cursorVb;
+    for (std::size_t steps = 0; steps <= mask; ++steps, ++vb) {
+        const std::vector<Slot> &b = buckets[vb & mask];
+        bool found = false;
+        Slot best = 0;
+        std::size_t bestPos = 0;
+        for (std::size_t p = 0; p < b.size(); ++p) {
+            const Slot s = b[p];
+            if (slotVb[s] != vb)
+                continue;
+            if (!found || a.finishMs[s] < a.finishMs[best] ||
+                (a.finishMs[s] == a.finishMs[best] &&
+                 a.index[s] < a.index[best])) {
+                best = s;
+                bestPos = p;
+                found = true;
+            }
+        }
+        if (found) {
+            minValid = true;
+            minSlot = best;
+            minBucket = vb & mask;
+            minPos = bestPos;
+            cursorVb = vb;
+            return;
+        }
+    }
+    // A whole rotation was empty: the next event is more than a year
+    // ahead. Find the global minimum directly and jump the cursor to it.
+    Slot best = 0;
+    std::size_t bestBucket = 0;
+    std::size_t bestPos = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const std::vector<Slot> &b = buckets[i];
+        for (std::size_t p = 0; p < b.size(); ++p) {
+            const Slot s = b[p];
+            if (!found || a.finishMs[s] < a.finishMs[best] ||
+                (a.finishMs[s] == a.finishMs[best] &&
+                 a.index[s] < a.index[best])) {
+                best = s;
+                bestBucket = i;
+                bestPos = p;
+                found = true;
+            }
+        }
+    }
+    STRETCH_ASSERT(found, "calendar count positive but no event found");
+    minValid = true;
+    minSlot = best;
+    minBucket = bestBucket;
+    minPos = bestPos;
+    cursorVb = slotVb[best];
+}
+
+double
+EventEngine::CalendarQueue::peekTimeMs(const PendingArena &a)
+{
+    if (!minValid)
+        findMin(a);
+    return minValid ? a.finishMs[minSlot] : inf;
+}
+
+EventEngine::Slot
+EventEngine::CalendarQueue::pop(const PendingArena &a)
+{
+    if (!minValid)
+        findMin(a);
+    STRETCH_ASSERT(minValid, "pop from an empty calendar queue");
+    const Slot s = minSlot;
+    std::vector<Slot> &b = buckets[minBucket];
+    b[minPos] = b.back();
+    b.pop_back();
+    --count;
+    minValid = false;
+    if (buckets.size() > minBuckets && count * 8 < buckets.size())
+        rebucket(std::max(minBuckets, buckets.size() / 4), a);
+    return s;
+}
+
+void
+EventEngine::CalendarQueue::rebucket(std::size_t nbuckets,
+                                     const PendingArena &a)
+{
+    std::vector<Slot> live;
+    live.reserve(count);
+    double lo = inf;
+    double hi = -inf;
+    for (const std::vector<Slot> &b : buckets) {
+        for (const Slot s : b) {
+            live.push_back(s);
+            lo = std::min(lo, a.finishMs[s]);
+            hi = std::max(hi, a.finishMs[s]);
+        }
+    }
+    buckets.resize(nbuckets);
+    for (auto &b : buckets)
+        b.clear();
+    mask = buckets.size() - 1;
+    // Re-derive the width from the live spacing: two mean gaps per
+    // bucket, so a year (nbuckets * width) always spans the live events
+    // and the scan stays short. Degenerate spans keep the old width.
+    if (live.size() >= 2 && hi > lo && hi - lo < inf) {
+        width = std::max((hi - lo) * 2.0 / static_cast<double>(live.size()),
+                         minWidth);
+    }
+    cursorVb = live.empty() ? 0 : vbOf(lo);
+    for (const Slot s : live) {
+        const std::uint64_t vb = vbOf(a.finishMs[s]);
+        slotVb[s] = vb;
+        buckets[vb & mask].push_back(s);
+    }
+    minValid = false;
+}
+
+// ---------------------------------------------------------------------------
+// Queue-kind dispatch
+
+bool
+EventEngine::pendingEmpty() const
+{
+    return kind == EventQueueKind::Calendar ? calendar.empty() : heap.empty();
+}
+
+double
+EventEngine::peekPendingTimeMs()
+{
+    if (kind == EventQueueKind::Calendar)
+        return calendar.peekTimeMs(arena);
+    return heap.empty() ? inf : arena.finishMs[heap.front()];
+}
+
+void
+EventEngine::pushPending(Slot s)
+{
+    if (kind == EventQueueKind::Calendar) {
+        calendar.push(s, arena);
+        return;
+    }
+    heap.push_back(s);
+    std::push_heap(heap.begin(), heap.end(), [this](Slot x, Slot y) {
+        if (arena.finishMs[x] != arena.finishMs[y])
+            return arena.finishMs[x] > arena.finishMs[y];
+        return arena.index[x] > arena.index[y];
+    });
+}
+
+EventEngine::Slot
+EventEngine::popPending()
+{
+    if (kind == EventQueueKind::Calendar)
+        return calendar.pop(arena);
+    std::pop_heap(heap.begin(), heap.end(), [this](Slot x, Slot y) {
+        if (arena.finishMs[x] != arena.finishMs[y])
+            return arena.finishMs[x] > arena.finishMs[y];
+        return arena.index[x] > arena.index[y];
+    });
+    Slot s = heap.back();
+    heap.pop_back();
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+
 void
 EventEngine::drainUntil(double t, const Callbacks &cb)
 {
     for (;;) {
-        double tc = pending.empty() ? inf : pending.top().finishMs;
+        double tc = peekPendingTimeMs();
         double tq = cb.quantumMs > 0.0 ? nextBoundary : inf;
         // Completions first on ties: a request finishing exactly on a
         // boundary belongs to the window the boundary closes.
         if (tc <= tq && tc <= t) {
-            Pending p = pending.top();
-            pending.pop();
+            Slot p = popPending();
             if (cb.onComplete) {
                 Completion c;
-                c.index = p.index;
-                c.server = p.server;
-                c.classId = p.classId;
-                c.arrivalMs = p.arrivalMs;
-                c.startMs = p.startMs;
-                c.finishMs = p.finishMs;
+                c.index = arena.index[p];
+                c.server = arena.server[p];
+                c.classId = arena.classId[p];
+                c.arrivalMs = arena.arrivalMs[p];
+                c.startMs = arena.startMs[p];
+                c.finishMs = arena.finishMs[p];
                 cb.onComplete(c);
             }
+            arena.release(p);
             continue;
         }
         if (tq < tc && tq <= t) {
@@ -90,10 +370,13 @@ EventEngine::run(std::uint64_t requests, const Callbacks &cb)
                    "nextArrival already carries the class tag; nextClass "
                    "must be empty");
     STRETCH_ASSERT(cb.quantumMs >= 0.0, "negative control quantum");
+    STRETCH_ASSERT(cb.rateHintPerMs >= 0.0, "negative arrival-rate hint");
     // Fresh simulation state: a reused engine must not leak the previous
     // run's queues, makespan, or undelivered events.
     srv.assign(srv.size(), ServerState{});
-    pending = {};
+    arena.clear();
+    calendar.reset(cb.rateHintPerMs > 0.0 ? 1.0 / cb.rateHintPerMs : 1.0);
+    heap.clear();
     elapsed = 0.0;
     nextBoundary = cb.quantumMs;
 
@@ -136,7 +419,7 @@ EventEngine::run(std::uint64_t requests, const Callbacks &cb)
         srv[s].busyMs += finish - start;
         ++srv[s].placed;
         elapsed = std::max(elapsed, finish);
-        pending.push({finish, i, s, cls, now, start});
+        pushPending(arena.alloc(finish, i, s, cls, now, start));
     }
     drainUntil(elapsed, cb);
 }

@@ -29,6 +29,16 @@
  * total order (completions and boundaries in time order, completions
  * first on ties, arrival index breaking completion ties). Instances are
  * not thread-safe; use one engine per thread.
+ *
+ * Event-queue internals: pending completions live in an index-recycling
+ * arena (structure-of-arrays, so the drain loop only touches the finish
+ * time and arrival index it compares on) behind one of two orderings —
+ * an adaptive calendar queue (the default; O(1) amortised push/pop,
+ * bucket width seeded from `Callbacks::rateHintPerMs`) or a binary heap
+ * kept as the reference implementation for equivalence tests. Both
+ * deliver the exact same total order (finish time ascending, arrival
+ * index breaking ties), so the choice can never change a simulated
+ * result — see tests/test_event_queue.cc.
  */
 
 #ifndef STRETCH_QUEUEING_EVENT_ENGINE_H
@@ -36,7 +46,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace stretch::queueing
@@ -62,6 +71,13 @@ struct Completion
 
     /** Request sojourn time (queueing wait + service). */
     double latencyMs() const { return finishMs - arrivalMs; }
+};
+
+/** Which ordering structure backs the pending-event set. */
+enum class EventQueueKind
+{
+    Calendar, ///< adaptive calendar queue (default; O(1) amortised)
+    Heap,     ///< binary heap — reference implementation for tests
 };
 
 /**
@@ -138,13 +154,21 @@ class EventEngine
         std::function<void(double boundaryMs)> onQuantum;
         /** Control-quantum length; 0 disables onQuantum entirely. */
         double quantumMs = 0.0;
+        /**
+         * Expected arrival rate (requests/ms), purely a sizing hint: it
+         * seeds the calendar queue's initial bucket width at the mean
+         * interarrival gap. 0 means unknown. The hint can never change a
+         * result — only how fast the queue reaches its adapted shape.
+         */
+        double rateHintPerMs = 0.0;
     };
 
     /** Sentinel the place callback returns to shed (drop) a request at
      *  admission instead of booking it on a server. */
     static constexpr std::size_t shed = static_cast<std::size_t>(-1);
 
-    explicit EventEngine(std::size_t servers);
+    explicit EventEngine(std::size_t servers,
+                         EventQueueKind kind = EventQueueKind::Calendar);
 
     /** Generate and serve @p requests arrivals, then drain all events. */
     void run(std::uint64_t requests, const Callbacks &cb);
@@ -175,34 +199,89 @@ class EventEngine
     /** Latest completion time seen so far (the makespan after run()). */
     double elapsedMs() const { return elapsed; }
 
+    /** Which ordering structure this engine was built with. */
+    EventQueueKind queueKind() const { return kind; }
+
   private:
-    struct Pending
+    /** Slot id into the pending-event arena. */
+    using Slot = std::uint32_t;
+
+    /**
+     * Index-recycling arena for pending completions, structure-of-arrays:
+     * the ordering structures compare only (finishMs, index), so those
+     * two live in their own hot arrays and the fields needed solely to
+     * build the `Completion` stay out of the comparison cache lines.
+     */
+    struct PendingArena
     {
-        double finishMs;
-        std::uint64_t index;
-        std::size_t server;
-        std::uint32_t classId;
-        double arrivalMs;
-        double startMs;
+        std::vector<double> finishMs;      ///< hot: primary sort key
+        std::vector<std::uint64_t> index;  ///< hot: tie-break sort key
+        std::vector<double> arrivalMs;     ///< cold: Completion payload
+        std::vector<double> startMs;       ///< cold: Completion payload
+        std::vector<std::uint32_t> server; ///< cold: Completion payload
+        std::vector<std::uint32_t> classId; ///< cold: Completion payload
+        std::vector<Slot> freeSlots;       ///< recycled slot ids
+
+        Slot alloc(double finish, std::uint64_t idx, std::size_t srv,
+                   std::uint32_t cls, double arrival, double start);
+        void release(Slot s) { freeSlots.push_back(s); }
+        void clear();
     };
 
-    /** Min-heap order on (finish time, arrival index). */
-    struct LaterFinish
+    /**
+     * Adaptive calendar queue over arena slots (R. Brown, CACM 1988):
+     * a power-of-two ring of buckets, each holding the slots whose
+     * finish time falls in one width-sized interval of its "year". A
+     * cursor walks virtual buckets (finish / width) in order; pushes of
+     * events earlier than the cursor pull it back, and when a whole
+     * rotation finds nothing the queue jumps straight to the global
+     * minimum. The bucket count and width adapt to the live event count
+     * and spacing. Pop order is exact — (finishMs, index) ascending —
+     * regardless of bucket layout, so determinism never depends on the
+     * calendar's shape.
+     */
+    struct CalendarQueue
     {
-        bool
-        operator()(const Pending &a, const Pending &b) const
-        {
-            if (a.finishMs != b.finishMs)
-                return a.finishMs > b.finishMs;
-            return a.index > b.index;
-        }
+        std::vector<std::vector<Slot>> buckets;
+        /** Virtual bucket of each slot, computed once at push time so
+         *  the scan's qualify check is an integer compare, not a
+         *  division. Rebucket recomputes it under the new width. */
+        std::vector<std::uint64_t> slotVb;
+        std::size_t mask = 0;      ///< buckets.size() - 1 (power of two)
+        double width = 1.0;        ///< bucket time span (ms)
+        std::uint64_t cursorVb = 0; ///< virtual bucket the scan resumes at
+        std::size_t count = 0;     ///< live events
+
+        /** Cached earliest event so peek-then-pop scans only once. */
+        bool minValid = false;
+        Slot minSlot = 0;
+        std::size_t minBucket = 0;
+        std::size_t minPos = 0;
+
+        void reset(double width_ms);
+        void push(Slot s, const PendingArena &a);
+        Slot pop(const PendingArena &a);
+        double peekTimeMs(const PendingArena &a);
+        bool empty() const { return count == 0; }
+
+        std::uint64_t vbOf(double t) const;
+        void findMin(const PendingArena &a);
+        void rebucket(std::size_t nbuckets, const PendingArena &a);
     };
 
     /** Deliver completions and quantum boundaries with time <= t. */
     void drainUntil(double t, const Callbacks &cb);
 
+    void pushPending(Slot s);
+    Slot popPending();
+    double peekPendingTimeMs();
+    bool pendingEmpty() const;
+
     std::vector<ServerState> srv;
-    std::priority_queue<Pending, std::vector<Pending>, LaterFinish> pending;
+    EventQueueKind kind;
+    PendingArena arena;
+    CalendarQueue calendar;
+    std::vector<Slot> heap; ///< EventQueueKind::Heap: min-heap of slots
     double elapsed = 0.0;
     double nextBoundary = 0.0;
 };

@@ -44,6 +44,9 @@ simulateService(const ServiceSpec &spec, double rate_per_ms,
     Histogram hist(1e-3);
     EventEngine engine(spec.workers);
     EventEngine::Callbacks cb;
+    cb.rateHintPerMs = rate_per_ms;
+    // No gap batching here: this rng interleaves arrival and demand
+    // draws, so drawing gaps ahead would change the realized samples.
     cb.nextGap = [&] { return arrivals.next(rng); };
     cb.nextDemand = [&](std::uint32_t) {
         return rng.lognormal(mu, spec.logSigma) * knobs.perfScale;

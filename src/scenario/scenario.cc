@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <map>
 #include <mutex>
+#include <set>
 #include <sstream>
 
 #include "sim/op_point_cache.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace stretch::scenario
 {
@@ -58,13 +61,24 @@ calibrate(const Scenario &s)
     key << '|' << s.calibrationRequests << '|' << s.opsPerRequest << '|'
         << s.seed;
 
+    // Single-flight memo: concurrent sweep variants over the same cores
+    // share one probe run — the first caller simulates, the rest block
+    // on its result instead of duplicating it.
     static std::mutex mu;
+    static std::condition_variable flightCv;
+    static std::set<std::string> inflight;
     static std::map<std::string, Calibration> memo;
+    std::string k = key.str();
     {
-        std::lock_guard<std::mutex> lock(mu);
-        auto it = memo.find(key.str());
-        if (it != memo.end())
-            return it->second;
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+            auto it = memo.find(k);
+            if (it != memo.end())
+                return it->second;
+            if (inflight.insert(k).second)
+                break; // this thread runs the key's one probe
+            flightCv.wait(lock);
+        }
     }
 
     sim::FleetConfig probe;
@@ -75,17 +89,26 @@ calibrate(const Scenario &s)
     probe.seed = s.seed;
     probe.reuseOperatingPoints = s.reuseOperatingPoints;
     probe.threads = s.threads;
-    sim::FleetResult flat = sim::runFleet(probe);
-
     Calibration cal;
-    for (double r : flat.serviceRatePerMs)
-        cal.capacityPerMs += r;
-    cal.p99Ms = flat.dispatch.latencyMs.p99;
+    try {
+        sim::FleetResult flat = sim::runFleet(probe);
+        for (double r : flat.serviceRatePerMs)
+            cal.capacityPerMs += r;
+        cal.p99Ms = flat.dispatch.latencyMs.p99;
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        inflight.erase(k);
+        flightCv.notify_all();
+        throw;
+    }
     STRETCH_ASSERT(cal.capacityPerMs > 0.0,
                    "calibration probe measured no serving capacity");
 
     std::lock_guard<std::mutex> lock(mu);
-    return memo.emplace(key.str(), cal).first->second;
+    inflight.erase(k);
+    const Calibration &slot = memo.emplace(std::move(k), cal).first->second;
+    flightCv.notify_all();
+    return slot;
 }
 
 } // namespace
@@ -676,13 +699,22 @@ Sweep::variants() const
 std::vector<Sweep::Outcome>
 Sweep::run() const
 {
-    std::vector<Outcome> out;
+    // Variants are independent simulations, so they run on the thread
+    // pool (the base scenario's thread budget). Each variant writes its
+    // result into an index-addressed slot and the outcomes are
+    // assembled in expansion order, so the parallel sweep is
+    // bit-identical to the serial loop it replaces. Shared work
+    // (operating points, calibration probes) converges in the
+    // single-flight process-wide caches rather than duplicating.
     std::vector<Variant> vars = variants();
+    std::vector<sim::FleetResult> results(vars.size());
+    ThreadPool::parallelFor(base.threads, vars.size(), [&](std::size_t i) {
+        results[i] = scenario::run(vars[i].scenario);
+    });
+    std::vector<Outcome> out;
     out.reserve(vars.size());
-    for (Variant &v : vars) {
-        sim::FleetResult r = scenario::run(v.scenario);
-        out.push_back({std::move(v), std::move(r)});
-    }
+    for (std::size_t i = 0; i < vars.size(); ++i)
+        out.push_back({std::move(vars[i]), std::move(results[i])});
     return out;
 }
 

@@ -322,7 +322,14 @@ class Sweep
         sim::FleetResult result;
     };
 
-    /** Run every variant through `scenario::run`, in expansion order. */
+    /**
+     * Run every variant through `scenario::run`; outcomes come back in
+     * expansion order. Variants execute in parallel on the base
+     * scenario's thread budget (`base.threads`; 1 = serial, 0 =
+     * hardware concurrency), bit-identical to the serial loop: every
+     * variant is an independent simulation writing an index-addressed
+     * slot, and shared probe work converges in single-flight caches.
+     */
     std::vector<Outcome> run() const;
 
   private:

@@ -1,6 +1,7 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -385,11 +386,26 @@ dispatchRequests(const DispatchConfig &cfg)
     latencies.reserve(cfg.requests);
     std::size_t rr_next = 0; // round-robin cursor over serving cores
 
+    // Gap draws are batched: arrivalsRng feeds nothing but interarrival
+    // gaps, so drawing a block ahead through ArrivalProcess::fill leaves
+    // every realized gap bit-identical while paying the variant dispatch
+    // once per block instead of once per arrival.
+    std::array<double, 256> gapBlock;
+    std::size_t gapNext = gapBlock.size();
+
     queueing::EventEngine::Callbacks cb;
+    cb.rateHintPerMs = out.offeredRatePerMs;
     if (perClassArr) {
         cb.nextArrival = [&] { return classArrivals->next(); };
     } else {
-        cb.nextGap = [&] { return arrivals->next(arrivalsRng); };
+        cb.nextGap = [&] {
+            if (gapNext == gapBlock.size()) {
+                arrivals->fill(arrivalsRng, gapBlock.data(),
+                               gapBlock.size());
+                gapNext = 0;
+            }
+            return gapBlock[gapNext++];
+        };
         if (classesOn)
             cb.nextClass = [&] { return cfg.classes.sample(classRng); };
     }

@@ -18,9 +18,13 @@
  * `sim::quickFactor()` because the runner scales its sampling effort by
  * it at run time.
  *
- * Thread-safety: all entry points are mutex-guarded; concurrent misses
- * of the same key both simulate (the duplicate result is discarded), so
- * correctness never depends on the pool schedule. Returned references
+ * Thread-safety: all entry points are mutex-guarded, and misses are
+ * single-flight per key: the first thread to miss a key simulates it
+ * (outside the lock, so distinct keys still measure in parallel) while
+ * any other thread missing the same key blocks on the first thread's
+ * result instead of duplicating the simulation. Hit/miss counts are
+ * therefore exact — every measure() call is exactly one hit or one
+ * miss, and each distinct key misses exactly once. Returned references
  * stay valid until `clear()` (std::map never invalidates on insert).
  *
  * Persistence: `saveTo`/`loadFrom` round-trip the memo through a
@@ -28,21 +32,43 @@
  * results are bit-identical), keyed by the same config keys — which
  * embed the quick factor, so a file saved under one sampling scale
  * never answers another. A missing, corrupt, or format-stale file
- * loads nothing and the cache falls back to fresh measurement.
+ * loads nothing and the cache falls back to fresh measurement; the
+ * outcome distinguishes "no file" (normal on a first run) from "file
+ * rejected" (warned, so CI cache corruption is visible). Setting the
+ * environment variable `STRETCH_OPPOINT_CACHE` to a file path makes the
+ * process seed the cache from that file on first use and write the
+ * merged contents back at exit — how the CI bench job persists
+ * measured operating points across runs.
  */
 
 #ifndef STRETCH_SIM_OP_POINT_CACHE_H
 #define STRETCH_SIM_OP_POINT_CACHE_H
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "sim/runner.h"
 
 namespace stretch::sim
 {
+
+/** What a loadFrom call did, and why. */
+struct CacheLoadOutcome
+{
+    enum class Status
+    {
+        Loaded,     ///< file parsed cleanly; `added` entries merged
+        FileAbsent, ///< nothing at the path (normal on a first run)
+        BadFormat,  ///< magic/version mismatch or corruption; warned,
+                    ///< nothing admitted
+    };
+    Status status = Status::FileAbsent;
+    std::size_t added = 0; ///< entries merged (existing entries win)
+};
 
 /** Memoising cache of `sim::run` results, keyed by configuration. */
 class OperatingPointCache
@@ -53,8 +79,10 @@ class OperatingPointCache
 
     /**
      * Memoised `sim::run(cfg)`: a repeat measurement of an identical
-     * configuration returns the cached result without re-simulating.
-     * The reference stays valid until clear().
+     * configuration returns the cached result without re-simulating,
+     * and a measurement already in flight on another thread is waited
+     * for rather than duplicated (the waiter counts as a hit). The
+     * reference stays valid until clear().
      */
     const RunResult &measure(const RunConfig &cfg);
 
@@ -88,12 +116,14 @@ class OperatingPointCache
     /**
      * Merge the entries of a file previously written by saveTo into the
      * cache (existing entries win — the in-process result is at least
-     * as fresh). Returns the number of entries added; a missing file, a
-     * format-version mismatch, or any parse corruption loads nothing
-     * (returns 0) and leaves the cache untouched, so callers simply
-     * fall back to fresh measurement.
+     * as fresh). All-or-nothing: a format-version mismatch or any parse
+     * corruption admits nothing and leaves the cache untouched. The
+     * outcome says which case occurred — `FileAbsent` (normal on a
+     * first run, silent) vs. `BadFormat` (a warning is logged so CI
+     * cache corruption is visible instead of silently re-measuring) vs.
+     * `Loaded` with the number of entries added.
      */
-    std::size_t loadFrom(const std::string &path);
+    CacheLoadOutcome loadFrom(const std::string &path);
 
     /** On-disk format version written by saveTo; bump when the entry
      *  layout (or anything the key omits) changes meaning. */
@@ -105,6 +135,8 @@ class OperatingPointCache
 
     mutable std::mutex mu;
     std::map<std::string, RunResult> memo;
+    std::set<std::string> inflight;    ///< keys being simulated right now
+    std::condition_variable flightCv;  ///< signals a flight's completion
     std::uint64_t hitCount = 0;
     std::uint64_t missCount = 0;
 };

@@ -82,6 +82,12 @@ class ThreadPool
             ++outstanding;
         }
         cv.notify_one();
+        // A thread blocked in wait() helps drain the queue, and its
+        // predicate includes !queue.empty() — so it must be woken for
+        // new work too, or a task submitted from inside another task
+        // (nested-pool pattern) could sleep forever once every worker
+        // is busy.
+        idleCv.notify_all();
     }
 
     /**

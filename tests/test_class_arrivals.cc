@@ -274,5 +274,93 @@ TEST(DiurnalDispatch, DefaultRateTargetsSeventyPercentMeanLoad)
                      3.0);
 }
 
+/** The pre-tournament linear-scan merge, hand-rolled as the reference:
+ *  earliest pending time wins, strict `<` so ties go to the lowest
+ *  class id, only the winner redraws. */
+struct LinearReferenceMerge
+{
+    std::vector<ClassArrivalSuperposition::Stream> streams;
+    std::vector<double> nextAtMs;
+    double clock = 0.0;
+
+    explicit LinearReferenceMerge(
+        std::vector<ClassArrivalSuperposition::Stream> s)
+        : streams(std::move(s))
+    {
+        for (auto &st : streams)
+            nextAtMs.push_back(st.process.next(st.rng));
+    }
+
+    TaggedArrival
+    next()
+    {
+        std::size_t win = 0;
+        for (std::size_t k = 1; k < nextAtMs.size(); ++k) {
+            if (nextAtMs[k] < nextAtMs[win])
+                win = k;
+        }
+        TaggedArrival out;
+        out.gapMs = nextAtMs[win] - clock;
+        out.classId = static_cast<std::uint32_t>(win);
+        clock = nextAtMs[win];
+        auto &s = streams[win];
+        nextAtMs[win] = clock + s.process.next(s.rng);
+        return out;
+    }
+};
+
+/** A mixed-shape stream set: Poisson and MMPP processes at distinct
+ *  rates, each with its own decorrelated RNG. */
+std::vector<ClassArrivalSuperposition::Stream>
+mixedStreams(std::size_t classes, std::uint64_t seed)
+{
+    std::vector<ClassArrivalSuperposition::Stream> streams;
+    streams.reserve(classes);
+    for (std::size_t k = 0; k < classes; ++k) {
+        double rate = 0.3 + 0.17 * static_cast<double>(k);
+        ArrivalProcess p =
+            k % 3 == 1
+                ? ArrivalProcess::mmpp(rate, 3.0, 150.0, 50.0)
+                : ArrivalProcess::poisson(rate);
+        streams.push_back({std::move(p), Rng(seed, mixSeed(0xa221, k))});
+    }
+    return streams;
+}
+
+TEST(ClassArrivalSuperposition, TournamentMatchesLinearReference)
+{
+    // The winner tree must reproduce the linear scan's merged stream
+    // exactly — same winner, same gap, every draw — across class counts
+    // on both sides of the power-of-two padding.
+    for (std::size_t classes : {1u, 2u, 3u, 5u, 8u, 16u, 33u}) {
+        ClassArrivalSuperposition tournament(mixedStreams(classes, 99));
+        LinearReferenceMerge linear(mixedStreams(classes, 99));
+        for (int i = 0; i < 4000; ++i) {
+            TaggedArrival a = tournament.next();
+            TaggedArrival b = linear.next();
+            ASSERT_EQ(a.classId, b.classId)
+                << classes << " classes, draw " << i;
+            ASSERT_EQ(a.gapMs, b.gapMs) // bit-identical, not approximate
+                << classes << " classes, draw " << i;
+        }
+    }
+}
+
+TEST(ClassArrivalSuperposition, TournamentTieBreaksToLowestClassId)
+{
+    // Two identical (process, seed) streams produce identical pending
+    // times: the first merged arrival is an exact tie and must go to
+    // class 0, with class 1's identical arrival following at gap 0.
+    std::vector<ClassArrivalSuperposition::Stream> streams;
+    streams.push_back({ArrivalProcess::poisson(1.0), Rng(5, 77)});
+    streams.push_back({ArrivalProcess::poisson(1.0), Rng(5, 77)});
+    ClassArrivalSuperposition sup(std::move(streams));
+    TaggedArrival first = sup.next();
+    EXPECT_EQ(first.classId, 0u);
+    TaggedArrival second = sup.next();
+    EXPECT_EQ(second.classId, 1u);
+    EXPECT_EQ(second.gapMs, 0.0);
+}
+
 } // namespace
 } // namespace stretch

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Drain-order property tests for the event engine's calendar queue: the
+ * calendar and the reference binary heap must deliver the exact same
+ * callback sequence — completions, quantum boundaries, and sheds, with
+ * every field bit-identical — under randomized arrival/quantum/shed
+ * traffic, including exact finish-time ties, far-future events, and
+ * capacity charges. This is the correctness gate for the hot-path
+ * overhaul: the queue layout may never change a simulated result.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "queueing/event_engine.h"
+#include "util/rng.h"
+
+namespace stretch::queueing
+{
+namespace
+{
+
+/** One observed callback, all payload fields captured. */
+struct Event
+{
+    enum Kind : int { Complete, Quantum, Shed };
+    int kind = Complete;
+    std::uint64_t index = 0;
+    std::size_t server = 0;
+    std::uint32_t classId = 0;
+    double arrivalMs = 0.0;
+    double startMs = 0.0;
+    double timeMs = 0.0; ///< finish, boundary, or shed instant
+
+    bool
+    operator==(const Event &o) const
+    {
+        return kind == o.kind && index == o.index && server == o.server &&
+               classId == o.classId && arrivalMs == o.arrivalMs &&
+               startMs == o.startMs && timeMs == o.timeMs;
+    }
+};
+
+/** Adversarial traffic shape: bursts of simultaneous arrivals, zero
+ *  demands (finish == start ties), occasional far-future demands, random
+ *  sheds, quantum boundaries with capacity charges. Deterministic in the
+ *  seed, identical across engine kinds. */
+std::vector<Event>
+replay(EventQueueKind kind, std::uint64_t seed, double rateHint)
+{
+    constexpr std::size_t servers = 4;
+    EventEngine engine(servers, kind);
+    Rng rng(seed, 0x5eed);
+    std::vector<Event> log;
+
+    EventEngine::Callbacks cb;
+    cb.quantumMs = 0.4;
+    cb.rateHintPerMs = rateHint;
+    cb.nextGap = [&]() -> double {
+        double u = rng.uniform();
+        if (u < 0.2)
+            return 0.0; // simultaneous arrivals
+        if (u < 0.25)
+            return rng.exponential(40.0); // long lull
+        return rng.exponential(0.25);
+    };
+    cb.nextClass = [&] { return static_cast<std::uint32_t>(rng.below(6)); };
+    cb.nextDemand = [&](std::uint32_t) -> double {
+        double u = rng.uniform();
+        if (u < 0.15)
+            return 0.0; // finish == start: exact-tie pressure
+        if (u < 0.2)
+            return rng.exponential(120.0); // far-future completion
+        return rng.exponential(0.8);
+    };
+    cb.place = [&](double, double, std::uint32_t) -> std::size_t {
+        if (rng.uniform() < 0.05)
+            return EventEngine::shed;
+        return rng.below(servers);
+    };
+    cb.finish = [&](std::size_t, double start, double demand) {
+        // Snap some finishes to a coarse grid so distinct requests
+        // collide on the exact same finish time (index tie-break).
+        double finish = start + demand;
+        if (rng.uniform() < 0.3)
+            finish = start + static_cast<double>(static_cast<int>(demand));
+        return finish;
+    };
+    cb.onComplete = [&](const Completion &c) {
+        log.push_back({Event::Complete, c.index, c.server, c.classId,
+                       c.arrivalMs, c.startMs, c.finishMs});
+    };
+    cb.onShed = [&](std::uint64_t index, double now, double demand,
+                    std::uint32_t cls) {
+        log.push_back({Event::Shed, index, 0, cls, now, demand, now});
+    };
+    cb.onQuantum = [&](double boundary) {
+        log.push_back({Event::Quantum, 0, 0, 0, 0.0, 0.0, boundary});
+        // Capacity charges stretch backlogs mid-run, shifting future
+        // bookings relative to the calendar's adapted width.
+        if (rng.uniform() < 0.1)
+            engine.chargeCapacity(rng.below(servers), boundary,
+                                  rng.exponential(1.0));
+    };
+
+    engine.run(3000, cb);
+    return log;
+}
+
+TEST(EventQueue, CalendarMatchesHeapUnderRandomizedTraffic)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        std::vector<Event> heap = replay(EventQueueKind::Heap, seed, 4.0);
+        std::vector<Event> cal = replay(EventQueueKind::Calendar, seed, 4.0);
+        ASSERT_EQ(heap.size(), cal.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < heap.size(); ++i)
+            ASSERT_TRUE(heap[i] == cal[i])
+                << "seed " << seed << " event " << i;
+    }
+}
+
+TEST(EventQueue, RateHintNeverChangesResults)
+{
+    // The hint only seeds the initial bucket width; wildly wrong hints
+    // must still produce the identical callback sequence.
+    std::vector<Event> ref = replay(EventQueueKind::Calendar, 77, 0.0);
+    for (double hint : {1e-6, 0.01, 4.0, 1e6}) {
+        std::vector<Event> got = replay(EventQueueKind::Calendar, 77, hint);
+        ASSERT_EQ(ref.size(), got.size()) << "hint " << hint;
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_TRUE(ref[i] == got[i]) << "hint " << hint;
+    }
+}
+
+TEST(EventQueue, EngineReuseIsClean)
+{
+    // A second run on the same engine must not leak the first run's
+    // events or adapted calendar shape into its results.
+    EventEngine engine(2, EventQueueKind::Calendar);
+    std::vector<double> finishes;
+    EventEngine::Callbacks cb;
+    cb.nextGap = [] { return 0.5; };
+    cb.nextDemand = [](std::uint32_t) { return 2.0; };
+    cb.place = [&](double, double, std::uint32_t) {
+        return engine.leastFreeServer();
+    };
+    cb.finish = [](std::size_t, double start, double demand) {
+        return start + demand;
+    };
+    cb.onComplete = [&](const Completion &c) {
+        finishes.push_back(c.finishMs);
+    };
+    engine.run(100, cb);
+    std::vector<double> first = finishes;
+    finishes.clear();
+    engine.run(100, cb);
+    EXPECT_EQ(first, finishes);
+}
+
+TEST(EventQueue, ExactTiesDeliverInArrivalIndexOrder)
+{
+    // Every request arrives at t=0 with zero demand: all finishes tie at
+    // 0.0 and the engine must break ties by arrival index, whatever the
+    // backing queue.
+    for (EventQueueKind kind :
+         {EventQueueKind::Calendar, EventQueueKind::Heap}) {
+        EventEngine engine(3, kind);
+        std::vector<std::uint64_t> order;
+        EventEngine::Callbacks cb;
+        cb.nextGap = [] { return 0.0; };
+        cb.nextDemand = [](std::uint32_t) { return 0.0; };
+        cb.place = [&](double, double, std::uint32_t) {
+            return engine.leastFreeServer();
+        };
+        cb.finish = [](std::size_t, double start, double) { return start; };
+        cb.onComplete = [&](const Completion &c) {
+            order.push_back(c.index);
+        };
+        engine.run(50, cb);
+        ASSERT_EQ(order.size(), 50u);
+        for (std::uint64_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(EventQueue, QueueKindIsReportedAndDefaultsToCalendar)
+{
+    EventEngine def(1);
+    EXPECT_EQ(def.queueKind(), EventQueueKind::Calendar);
+    EventEngine heap(1, EventQueueKind::Heap);
+    EXPECT_EQ(heap.queueKind(), EventQueueKind::Heap);
+}
+
+} // namespace
+} // namespace stretch::queueing

@@ -5,10 +5,13 @@
  * sensitivity, and runFleet's use of the memo.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "sim/fleet.h"
 #include "sim/op_point_cache.h"
@@ -131,7 +134,9 @@ TEST(OperatingPointCache, DiskRoundTripIsBitIdentical)
     // Reload into an empty cache: both entries come back, and a repeat
     // measurement is a hit with a bit-identical result.
     cache.clear();
-    EXPECT_EQ(cache.loadFrom(path), 2u);
+    CacheLoadOutcome loaded = cache.loadFrom(path);
+    EXPECT_EQ(loaded.status, CacheLoadOutcome::Status::Loaded);
+    EXPECT_EQ(loaded.added, 2u);
     EXPECT_EQ(cache.size(), 2u);
     EXPECT_TRUE(cache.contains(cfg));
     const RunResult &reloaded = cache.measure(cfg);
@@ -144,8 +149,11 @@ TEST(OperatingPointCache, DiskRoundTripIsBitIdentical)
     EXPECT_EQ(reloaded.stats[1].mlpCycles, measured.stats[1].mlpCycles);
     EXPECT_EQ(reloaded.llcMissCount, measured.llcMissCount);
 
-    // Existing in-process entries win over the file on a merge.
-    EXPECT_EQ(cache.loadFrom(path), 0u);
+    // Existing in-process entries win over the file on a merge: the
+    // load succeeds but adds nothing.
+    CacheLoadOutcome merged = cache.loadFrom(path);
+    EXPECT_EQ(merged.status, CacheLoadOutcome::Status::Loaded);
+    EXPECT_EQ(merged.added, 0u);
     EXPECT_EQ(cache.size(), 2u);
     std::remove(path.c_str());
 }
@@ -160,8 +168,11 @@ TEST(OperatingPointCache, CorruptOrStaleFileLoadsNothing)
     ASSERT_TRUE(cache.saveTo(good));
     cache.clear();
 
-    // Missing file: nothing loads, fresh measurement is the fallback.
-    EXPECT_EQ(cache.loadFrom(good + ".does-not-exist"), 0u);
+    // Missing file: nothing loads, fresh measurement is the fallback —
+    // and the outcome distinguishes "no file" from a rejected file.
+    CacheLoadOutcome absent = cache.loadFrom(good + ".does-not-exist");
+    EXPECT_EQ(absent.status, CacheLoadOutcome::Status::FileAbsent);
+    EXPECT_EQ(absent.added, 0u);
 
     // Stale format version: nothing loads.
     std::string stale = ::testing::TempDir() + "op_point_cache_stale.txt";
@@ -174,7 +185,9 @@ TEST(OperatingPointCache, CorruptOrStaleFileLoadsNothing)
         while (std::getline(in, line))
             out << line << '\n';
     }
-    EXPECT_EQ(cache.loadFrom(stale), 0u);
+    CacheLoadOutcome staleOut = cache.loadFrom(stale);
+    EXPECT_EQ(staleOut.status, CacheLoadOutcome::Status::BadFormat);
+    EXPECT_EQ(staleOut.added, 0u);
 
     // Truncated body: the whole load is discarded, not half-admitted.
     std::string corrupt = ::testing::TempDir() + "op_point_cache_bad.txt";
@@ -185,14 +198,64 @@ TEST(OperatingPointCache, CorruptOrStaleFileLoadsNothing)
         for (int i = 0; i < 3 && std::getline(in, line); ++i)
             out << line << '\n';
     }
-    EXPECT_EQ(cache.loadFrom(corrupt), 0u);
+    CacheLoadOutcome corruptOut = cache.loadFrom(corrupt);
+    EXPECT_EQ(corruptOut.status, CacheLoadOutcome::Status::BadFormat);
+    EXPECT_EQ(corruptOut.added, 0u);
     EXPECT_EQ(cache.size(), 0u);
 
     // The untouched file still loads fine afterwards.
-    EXPECT_EQ(cache.loadFrom(good), 1u);
+    CacheLoadOutcome goodOut = cache.loadFrom(good);
+    EXPECT_EQ(goodOut.status, CacheLoadOutcome::Status::Loaded);
+    EXPECT_EQ(goodOut.added, 1u);
     std::remove(good.c_str());
     std::remove(stale.c_str());
     std::remove(corrupt.c_str());
+}
+
+TEST(OperatingPointCache, ConcurrentMissesOfOneKeySimulateOnce)
+{
+    OperatingPointCache &cache = OperatingPointCache::instance();
+    cache.clear();
+
+    // All threads miss the same key at once. Single-flight: exactly one
+    // simulates (the miss), the rest block on its result (hits) — and
+    // hits + misses == calls, the exactness the satellite demands.
+    const unsigned callers = 8;
+    RunConfig cfg = smallConfig();
+    std::atomic<unsigned> started{0};
+    std::vector<const RunResult *> results(callers, nullptr);
+    std::vector<std::thread> threads;
+    threads.reserve(callers);
+    for (unsigned i = 0; i < callers; ++i) {
+        threads.emplace_back([&, i] {
+            // Rendezvous so the misses really race.
+            ++started;
+            while (started.load() < callers)
+                std::this_thread::yield();
+            results[i] = &cache.measure(cfg);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), callers - 1);
+    EXPECT_EQ(cache.hits() + cache.misses(), callers);
+    EXPECT_EQ(cache.size(), 1u);
+    // Everyone got the same memoised entry, not merely equal values.
+    for (unsigned i = 1; i < callers; ++i)
+        EXPECT_EQ(results[0], results[i]);
+
+    // Distinct keys do not serialise behind one another: both miss.
+    cache.clear();
+    RunConfig other = smallConfig();
+    other.seed = cfg.seed + 1;
+    std::thread a([&] { cache.measure(cfg); });
+    std::thread b([&] { cache.measure(other); });
+    a.join();
+    b.join();
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
 }
 
 TEST(OperatingPointCache, ClearResetsEverything)

@@ -370,5 +370,51 @@ TEST(ScenarioSweep, RunsVariantsThroughTheSharedOperatingPointCache)
     EXPECT_EQ(outcomes[1].variant.coords[0].second, "ll");
 }
 
+TEST(ScenarioSweep, ParallelRunIsBitIdenticalToSerial)
+{
+    // Sweep::run dispatches variants onto the thread pool; every result
+    // must match the serial (threads=1) expansion bit for bit, in the
+    // same order — variant independence plus index-addressed slots.
+    auto makeSweep = [](unsigned threads) {
+        Scenario base = ScenarioBuilder()
+                            .cores(2, smallConfig())
+                            .requests(400)
+                            .threads(threads)
+                            .expect();
+        Sweep sweep(base);
+        sweep.over("policy",
+                   {{"rr",
+                     [](Scenario &s) {
+                         s.placement = sim::PlacementPolicy::RoundRobin;
+                     }},
+                    {"ll",
+                     [](Scenario &s) {
+                         s.placement = sim::PlacementPolicy::LeastLoaded;
+                     }}})
+            .over("load", {{"low",
+                            [](Scenario &s) {
+                                s.arrivalRatePerMs = 0.0;
+                            }},
+                           {"explicit", [](Scenario &s) {
+                                s.arrivalRatePerMs = 1.0;
+                            }}});
+        return sweep.run();
+    };
+
+    std::vector<Sweep::Outcome> serial = makeSweep(1);
+    std::vector<Sweep::Outcome> parallel = makeSweep(4);
+    ASSERT_EQ(serial.size(), 4u);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].variant.label, parallel[i].variant.label);
+        EXPECT_EQ(serial[i].result.dispatch.latencyMs.p99,
+                  parallel[i].result.dispatch.latencyMs.p99);
+        EXPECT_EQ(serial[i].result.dispatch.elapsedMs,
+                  parallel[i].result.dispatch.elapsedMs);
+        EXPECT_EQ(serial[i].result.cores[0].uipc[0],
+                  parallel[i].result.cores[0].uipc[0]);
+    }
+}
+
 } // namespace
 } // namespace stretch::scenario

@@ -1,17 +1,22 @@
 /**
  * @file
  * Unit tests for the util substrate: deterministic RNG, Zipf sampling,
- * and the log-bucketed latency histogram.
+ * the log-bucketed latency histogram, and the thread pool.
  */
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/histogram.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/types.h"
 
 namespace stretch
@@ -253,6 +258,45 @@ TEST(MixSeed, Distinct)
     EXPECT_NE(mixSeed(1, 2), mixSeed(2, 1));
     EXPECT_NE(mixSeed(1, 2), mixSeed(1, 3));
     EXPECT_EQ(mixSeed(5, 9), mixSeed(5, 9));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> touched(64);
+    for (auto &t : touched)
+        t = 0;
+    ThreadPool::parallelFor(4, touched.size(),
+                            [&](std::size_t i) { ++touched[i]; });
+    for (auto &t : touched)
+        EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, WaiterDrainsTasksSubmittedWhileWaiting)
+{
+    // Regression: submit() used to notify only the workers' cv, never
+    // idleCv — so a caller already blocked in wait() slept through tasks
+    // submitted after it started waiting. With a single worker pinned
+    // inside task A, the nested submit of B can only be drained by the
+    // waiting caller; without the fix this deadlocks.
+    ThreadPool pool(1);
+    std::atomic<bool> released{false};
+    pool.submit([&] {
+        // Give the caller time to enter wait() and block on idleCv.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        pool.submit([&] { released = true; });
+        // Pin the sole worker until the caller has drained B.
+        while (!released.load())
+            std::this_thread::yield();
+    });
+    pool.wait();
+    EXPECT_TRUE(released.load());
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskError)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
 }
 
 } // namespace

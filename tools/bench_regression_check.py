@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare engine throughput against the committed baseline snapshot.
+
+Reads two ``bench_to_json.py`` outputs and compares ``items_per_second``
+(simulated requests per second) for the end-to-end engine benches —
+names starting with ``BM_Engine`` or ``BM_Dispatch`` — in the embedded
+``bench_perf_micro`` google-benchmark JSON. Exits 1 when any bench fell
+below ``(1 - threshold)`` times its baseline, 0 otherwise.
+
+Missing inputs are not failures: a baseline that has not been committed
+yet, a skipped perf-micro run (google-benchmark absent), or a bench name
+present on only one side all produce a note and exit 0. The CI bench job
+runs this non-blockingly (``continue-on-error``) on top of that, so the
+check informs — perf noise never gates a merge.
+
+Usage:
+    tools/bench_regression_check.py --baseline BENCH_baseline.json \
+        --current BENCH_results.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TRACKED_PREFIXES = ("BM_Engine", "BM_Dispatch")
+
+
+def engine_throughputs(path: Path):
+    """Map tracked bench name -> items_per_second, or None with a note."""
+    if not path.exists():
+        return None, f"{path} does not exist"
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        return None, f"{path}: unreadable ({e})"
+    micro = doc.get("benches", {}).get("bench_perf_micro", {})
+    if "skipped" in micro:
+        return None, f"{path}: bench_perf_micro skipped ({micro['skipped']})"
+    if "error" in micro:
+        return None, f"{path}: bench_perf_micro errored ({micro['error']})"
+    rates = {}
+    for b in micro.get("benchmark", {}).get("benchmarks", []):
+        name = b.get("name", "")
+        if name.startswith(TRACKED_PREFIXES) and "items_per_second" in b:
+            rates[name] = float(b["items_per_second"])
+    if not rates:
+        return None, f"{path}: no BM_Engine*/BM_Dispatch* entries"
+    return rates, None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_baseline.json", type=Path)
+    ap.add_argument("--current", default="BENCH_results.json", type=Path)
+    ap.add_argument("--threshold", default=0.15, type=float,
+                    help="allowed fractional drop vs baseline "
+                         "(default 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    base, note = engine_throughputs(args.baseline)
+    if base is None:
+        print(f"note: no baseline to compare against — {note}")
+        return 0
+    cur, note = engine_throughputs(args.current)
+    if cur is None:
+        print(f"note: no current results to check — {note}")
+        return 0
+
+    regressions = []
+    for name in sorted(base):
+        if name not in cur:
+            print(f"note: {name} only in baseline, skipping")
+            continue
+        floor = base[name] * (1.0 - args.threshold)
+        verdict = "REGRESSED" if cur[name] < floor else "ok"
+        print(f"{verdict:>9}  {name}: {cur[name]:.3e} req/s "
+              f"(baseline {base[name]:.3e}, floor {floor:.3e})")
+        if cur[name] < floor:
+            regressions.append(name)
+    for name in sorted(set(cur) - set(base)):
+        print(f"note: {name} has no baseline yet")
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} bench(es) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("all tracked benches within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
