@@ -117,30 +117,50 @@ BENCHMARK(BM_QueueingRequest);
 
 constexpr std::uint64_t engineRequests = 200000;
 
+/// One-class workload shape: Poisson arrivals at 4 req/ms into 8
+/// servers, exponential demand with mean 1.6 ms -> ~80% utilisation.
+constexpr double oneClassRate = 4.0;
+
+/**
+ * Shared one-class policy: the calendar, heap, and erased-adapter
+ * benches all drive exactly this workload, built in one place so the
+ * variants can never drift apart (the PR 6 benches duplicated these
+ * lambdas per bench).
+ */
+auto
+makeOneClassPolicy(queueing::EventEngine &engine, Rng &rng,
+                   queueing::PoissonArrivals &arrivals,
+                   std::uint64_t &completed)
+{
+    using namespace queueing;
+    auto policy = makePolicy(
+        [&rng, &arrivals] {
+            return EventEngine::Arrival{arrivals.next(rng), 0};
+        },
+        [&rng](std::uint32_t) { return rng.exponential(1.6); },
+        [&engine](double, double, std::uint32_t) {
+            return engine.leastFreeServer();
+        },
+        [](std::size_t, double start, double demand) {
+            return start + demand;
+        },
+        [&completed](const Completion &) { ++completed; });
+    policy.rateHint = oneClassRate;
+    return policy;
+}
+
 /** One-class Poisson arrivals into an 8-server FCFS pool. */
 void
 runEngineOneClass(benchmark::State &state, queueing::EventQueueKind kind)
 {
     using namespace queueing;
-    constexpr std::size_t servers = 8;
-    constexpr double rate = 4.0; // req/ms; mean demand 1.6ms -> ~80% util
-    EventEngine engine(servers, kind);
+    EventEngine engine(8, kind);
     for (auto _ : state) {
         Rng rng(42, 0xbe7c);
-        PoissonArrivals arrivals(rate);
-        EventEngine::Callbacks cb;
-        cb.rateHintPerMs = rate;
-        cb.nextGap = [&] { return arrivals.next(rng); };
-        cb.nextDemand = [&](std::uint32_t) { return rng.exponential(1.6); };
-        cb.place = [&](double, double, std::uint32_t) {
-            return engine.leastFreeServer();
-        };
-        cb.finish = [](std::size_t, double start, double demand) {
-            return start + demand;
-        };
+        PoissonArrivals arrivals(oneClassRate);
         std::uint64_t completed = 0;
-        cb.onComplete = [&](const Completion &) { ++completed; };
-        engine.run(engineRequests, cb);
+        auto policy = makeOneClassPolicy(engine, rng, arrivals, completed);
+        engine.run(engineRequests, policy);
         benchmark::DoNotOptimize(completed);
     }
     state.SetItemsProcessed(state.iterations() * engineRequests);
@@ -161,6 +181,38 @@ BM_EngineHeapOneClassPoisson(benchmark::State &state)
     runEngineOneClass(state, queueing::EventQueueKind::Heap);
 }
 BENCHMARK(BM_EngineHeapOneClassPoisson);
+
+/** The same workload through the type-erased `Callbacks` adapter: the
+ *  trajectory shows what devirtualizing the run loop is worth. */
+void
+BM_EngineErasedOneClassPoisson(benchmark::State &state)
+{
+    using namespace queueing;
+    EventEngine engine(8);
+    for (auto _ : state) {
+        Rng rng(42, 0xbe7c);
+        PoissonArrivals arrivals(oneClassRate);
+        std::uint64_t completed = 0;
+        auto policy = makeOneClassPolicy(engine, rng, arrivals, completed);
+        // Wrap the shared typed policy in std::function hooks so both
+        // paths run the identical workload definition.
+        EventEngine::Callbacks cb;
+        cb.rateHintPerMs = oneClassRate;
+        cb.nextGap = [&] { return policy.nextArrival().gapMs; };
+        cb.nextDemand = [&](std::uint32_t c) { return policy.nextDemand(c); };
+        cb.place = [&](double now, double d, std::uint32_t c) {
+            return policy.place(now, d, c);
+        };
+        cb.finish = [&](std::size_t s, double start, double d) {
+            return policy.finish(s, start, d);
+        };
+        cb.onComplete = [&](const Completion &c) { policy.onComplete(c); };
+        engine.run(engineRequests, cb);
+        benchmark::DoNotOptimize(completed);
+    }
+    state.SetItemsProcessed(state.iterations() * engineRequests);
+}
+BENCHMARK(BM_EngineErasedOneClassPoisson);
 
 /** Eight superposed per-class streams (mixed Poisson/MMPP) through the
  *  tournament-tree merge. */
@@ -183,19 +235,19 @@ BM_EngineEightClassSuperposition(benchmark::State &state)
             streams.push_back({std::move(p), Rng(42, mixSeed(0xa221, k))});
         }
         ClassArrivalSuperposition sup(std::move(streams));
-        EventEngine::Callbacks cb;
-        cb.rateHintPerMs = 4.0;
-        cb.nextArrival = [&] { return sup.next(); };
-        cb.nextDemand = [&](std::uint32_t) { return rng.exponential(1.6); };
-        cb.place = [&](double, double, std::uint32_t) {
-            return engine.leastFreeServer();
-        };
-        cb.finish = [](std::size_t, double start, double demand) {
-            return start + demand;
-        };
         std::uint64_t completed = 0;
-        cb.onComplete = [&](const Completion &) { ++completed; };
-        engine.run(engineRequests, cb);
+        auto policy = makePolicy(
+            [&] { return sup.next(); },
+            [&](std::uint32_t) { return rng.exponential(1.6); },
+            [&](double, double, std::uint32_t) {
+                return engine.leastFreeServer();
+            },
+            [](std::size_t, double start, double demand) {
+                return start + demand;
+            },
+            [&](const Completion &) { ++completed; });
+        policy.rateHint = 4.0;
+        engine.run(engineRequests, policy);
         benchmark::DoNotOptimize(completed);
     }
     state.SetItemsProcessed(state.iterations() * engineRequests);
@@ -215,25 +267,27 @@ BM_EngineQuantumControlHeavy(benchmark::State &state)
     for (auto _ : state) {
         Rng rng(42, 0x9a17);
         PoissonArrivals arrivals(rate);
-        EventEngine::Callbacks cb;
-        cb.rateHintPerMs = rate;
-        cb.quantumMs = 0.05; // 1/(rate*quantum) = 5 boundaries/arrival
-        cb.nextGap = [&] { return arrivals.next(rng); };
-        cb.nextDemand = [&](std::uint32_t) { return rng.exponential(1.6); };
-        cb.place = [&](double, double, std::uint32_t) {
-            return engine.leastFreeServer();
-        };
-        cb.finish = [](std::size_t, double start, double demand) {
-            return start + demand;
-        };
         double backlogSum = 0.0;
-        cb.onQuantum = [&](double boundary) {
-            for (std::size_t s = 0; s < servers; ++s)
-                backlogSum += engine.backlogMs(s, boundary);
-            if (rng.uniform() < 0.01)
-                engine.chargeCapacity(rng.below(servers), boundary, 0.2);
-        };
-        engine.run(engineRequests / 4, cb);
+        auto policy = makePolicy(
+            [&] { return EventEngine::Arrival{arrivals.next(rng), 0}; },
+            [&](std::uint32_t) { return rng.exponential(1.6); },
+            [&](double, double, std::uint32_t) {
+                return engine.leastFreeServer();
+            },
+            [](std::size_t, double start, double demand) {
+                return start + demand;
+            },
+            NoopComplete{}, NoopShed{},
+            [&](double boundary) {
+                for (std::size_t s = 0; s < servers; ++s)
+                    backlogSum += engine.backlogMs(s, boundary);
+                if (rng.uniform() < 0.01)
+                    engine.chargeCapacity(rng.below(servers), boundary, 0.2);
+            });
+        // 1/(rate*quantum) = 5 boundaries/arrival
+        policy.quantum = 0.05;
+        policy.rateHint = rate;
+        engine.run(engineRequests / 4, policy);
         benchmark::DoNotOptimize(backlogSum);
     }
     state.SetItemsProcessed(state.iterations() * (engineRequests / 4));

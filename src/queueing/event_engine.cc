@@ -11,12 +11,6 @@ namespace stretch::queueing
 namespace
 {
 constexpr double inf = std::numeric_limits<double>::infinity();
-
-/** Initial and minimum bucket count (power of two). */
-constexpr std::size_t minBuckets = 64;
-
-/** Floor for the adaptive bucket width (ms). */
-constexpr double minWidth = 1e-9;
 } // namespace
 
 EventEngine::EventEngine(std::size_t servers, EventQueueKind kind)
@@ -25,60 +19,8 @@ EventEngine::EventEngine(std::size_t servers, EventQueueKind kind)
     STRETCH_ASSERT(servers > 0, "engine needs at least one server");
 }
 
-std::size_t
-EventEngine::leastFreeServer() const
-{
-    std::size_t best = 0;
-    for (std::size_t s = 1; s < srv.size(); ++s) {
-        if (srv[s].freeAtMs < srv[best].freeAtMs)
-            best = s;
-    }
-    return best;
-}
-
-double
-EventEngine::backlogMs(std::size_t s, double now) const
-{
-    STRETCH_ASSERT(s < srv.size(), "bad server index");
-    return std::max(0.0, srv[s].freeAtMs - now);
-}
-
-void
-EventEngine::chargeCapacity(std::size_t s, double now, double ms)
-{
-    STRETCH_ASSERT(s < srv.size(), "bad server index");
-    STRETCH_ASSERT(ms >= 0.0, "negative capacity charge");
-    srv[s].freeAtMs = std::max(srv[s].freeAtMs, now) + ms;
-}
-
 // ---------------------------------------------------------------------------
 // Pending-event arena
-
-EventEngine::Slot
-EventEngine::PendingArena::alloc(double finish, std::uint64_t idx,
-                                 std::size_t server_, std::uint32_t cls,
-                                 double arrival, double start)
-{
-    if (!freeSlots.empty()) {
-        Slot s = freeSlots.back();
-        freeSlots.pop_back();
-        finishMs[s] = finish;
-        index[s] = idx;
-        arrivalMs[s] = arrival;
-        startMs[s] = start;
-        server[s] = static_cast<std::uint32_t>(server_);
-        classId[s] = cls;
-        return s;
-    }
-    Slot s = static_cast<Slot>(finishMs.size());
-    finishMs.push_back(finish);
-    index.push_back(idx);
-    arrivalMs.push_back(arrival);
-    startMs.push_back(start);
-    server.push_back(static_cast<std::uint32_t>(server_));
-    classId.push_back(cls);
-    return s;
-}
 
 void
 EventEngine::PendingArena::clear()
@@ -95,20 +37,6 @@ EventEngine::PendingArena::clear()
 // ---------------------------------------------------------------------------
 // Calendar queue
 
-std::uint64_t
-EventEngine::CalendarQueue::vbOf(double t) const
-{
-    double q = t / width;
-    // Clamp: events absurdly far out (or +inf finish times) all share the
-    // last representable virtual bucket; the exact (finish, index) compare
-    // in the scan still orders them correctly.
-    if (q >= 9.0e18)
-        return static_cast<std::uint64_t>(9.0e18);
-    if (q <= 0.0)
-        return 0;
-    return static_cast<std::uint64_t>(q);
-}
-
 void
 EventEngine::CalendarQueue::reset(double width_ms)
 {
@@ -120,33 +48,6 @@ EventEngine::CalendarQueue::reset(double width_ms)
     cursorVb = 0;
     count = 0;
     minValid = false;
-}
-
-void
-EventEngine::CalendarQueue::push(Slot s, const PendingArena &a)
-{
-    const double t = a.finishMs[s];
-    const std::uint64_t vb = vbOf(t);
-    if (s >= slotVb.size())
-        slotVb.resize(s + 1);
-    slotVb[s] = vb;
-    std::vector<Slot> &b = buckets[vb & mask];
-    b.push_back(s);
-    ++count;
-    // An event earlier than the scan cursor must pull it back, or the
-    // next scan would skip right past it.
-    if (vb < cursorVb)
-        cursorVb = vb;
-    if (minValid) {
-        const double mt = a.finishMs[minSlot];
-        if (t < mt || (t == mt && a.index[s] < a.index[minSlot])) {
-            minSlot = s;
-            minBucket = vb & mask;
-            minPos = b.size() - 1;
-        }
-    }
-    if (count > 2 * buckets.size())
-        rebucket(buckets.size() * 2, a);
 }
 
 void
@@ -214,31 +115,6 @@ EventEngine::CalendarQueue::findMin(const PendingArena &a)
     cursorVb = slotVb[best];
 }
 
-double
-EventEngine::CalendarQueue::peekTimeMs(const PendingArena &a)
-{
-    if (!minValid)
-        findMin(a);
-    return minValid ? a.finishMs[minSlot] : inf;
-}
-
-EventEngine::Slot
-EventEngine::CalendarQueue::pop(const PendingArena &a)
-{
-    if (!minValid)
-        findMin(a);
-    STRETCH_ASSERT(minValid, "pop from an empty calendar queue");
-    const Slot s = minSlot;
-    std::vector<Slot> &b = buckets[minBucket];
-    b[minPos] = b.back();
-    b.pop_back();
-    --count;
-    minValid = false;
-    if (buckets.size() > minBuckets && count * 8 < buckets.size())
-        rebucket(std::max(minBuckets, buckets.size() / 4), a);
-    return s;
-}
-
 void
 EventEngine::CalendarQueue::rebucket(std::size_t nbuckets,
                                      const PendingArena &a)
@@ -283,79 +159,104 @@ EventEngine::pendingEmpty() const
     return kind == EventQueueKind::Calendar ? calendar.empty() : heap.empty();
 }
 
-double
-EventEngine::peekPendingTimeMs()
+// ---------------------------------------------------------------------------
+// Server-state queries
+
+std::size_t
+EventEngine::leastFreeServer() const
 {
-    if (kind == EventQueueKind::Calendar)
-        return calendar.peekTimeMs(arena);
-    return heap.empty() ? inf : arena.finishMs[heap.front()];
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < srv.size(); ++s) {
+        if (srv[s].freeAtMs < srv[best].freeAtMs)
+            best = s;
+    }
+    return best;
 }
 
 void
-EventEngine::pushPending(Slot s)
+EventEngine::chargeCapacity(std::size_t s, double now, double ms)
 {
-    if (kind == EventQueueKind::Calendar) {
-        calendar.push(s, arena);
-        return;
-    }
-    heap.push_back(s);
-    std::push_heap(heap.begin(), heap.end(), [this](Slot x, Slot y) {
-        if (arena.finishMs[x] != arena.finishMs[y])
-            return arena.finishMs[x] > arena.finishMs[y];
-        return arena.index[x] > arena.index[y];
-    });
-}
-
-EventEngine::Slot
-EventEngine::popPending()
-{
-    if (kind == EventQueueKind::Calendar)
-        return calendar.pop(arena);
-    std::pop_heap(heap.begin(), heap.end(), [this](Slot x, Slot y) {
-        if (arena.finishMs[x] != arena.finishMs[y])
-            return arena.finishMs[x] > arena.finishMs[y];
-        return arena.index[x] > arena.index[y];
-    });
-    Slot s = heap.back();
-    heap.pop_back();
-    return s;
+    STRETCH_ASSERT(s < srv.size(), "bad server index");
+    STRETCH_ASSERT(ms >= 0.0, "negative capacity charge");
+    srv[s].freeAtMs = std::max(srv[s].freeAtMs, now) + ms;
 }
 
 // ---------------------------------------------------------------------------
 // Run loop
 
 void
-EventEngine::drainUntil(double t, const Callbacks &cb)
+EventEngine::beginRun(double quantum_ms, double rate_hint_per_ms)
 {
-    for (;;) {
-        double tc = peekPendingTimeMs();
-        double tq = cb.quantumMs > 0.0 ? nextBoundary : inf;
-        // Completions first on ties: a request finishing exactly on a
-        // boundary belongs to the window the boundary closes.
-        if (tc <= tq && tc <= t) {
-            Slot p = popPending();
-            if (cb.onComplete) {
-                Completion c;
-                c.index = arena.index[p];
-                c.server = arena.server[p];
-                c.classId = arena.classId[p];
-                c.arrivalMs = arena.arrivalMs[p];
-                c.startMs = arena.startMs[p];
-                c.finishMs = arena.finishMs[p];
-                cb.onComplete(c);
-            }
-            arena.release(p);
-            continue;
-        }
-        if (tq < tc && tq <= t) {
-            if (cb.onQuantum)
-                cb.onQuantum(tq);
-            nextBoundary += cb.quantumMs;
-            continue;
-        }
-        break;
-    }
+    // Fresh simulation state: a reused engine must not leak the previous
+    // run's queues, makespan, or undelivered events.
+    srv.assign(srv.size(), ServerState{});
+    arena.clear();
+    calendar.reset(rate_hint_per_ms > 0.0 ? 1.0 / rate_hint_per_ms : 1.0);
+    heap.clear();
+    elapsed = 0.0;
+    nextBoundary = quantum_ms;
 }
+
+namespace
+{
+
+/**
+ * Adapter policy carrying the type-erased `Callbacks` through the
+ * templated run loop: the runtime arrival-source choice and the
+ * presence checks on the optional hooks live here, so the erased path
+ * behaves exactly as it always has — just on the shared loop.
+ */
+struct ErasedPolicy
+{
+    const EventEngine::Callbacks &cb;
+
+    EventEngine::Arrival
+    nextArrival()
+    {
+        if (cb.nextArrival) {
+            // Superposed per-class streams: the winning class's process
+            // fixes the gap and the tag jointly.
+            return cb.nextArrival();
+        }
+        EventEngine::Arrival a;
+        a.gapMs = cb.nextGap();
+        a.classId = cb.nextClass ? cb.nextClass() : 0;
+        return a;
+    }
+    double nextDemand(std::uint32_t cls) { return cb.nextDemand(cls); }
+    std::size_t
+    place(double now, double demand, std::uint32_t cls)
+    {
+        return cb.place(now, demand, cls);
+    }
+    double
+    finish(std::size_t server, double start, double demand)
+    {
+        return cb.finish(server, start, demand);
+    }
+    void
+    onComplete(const Completion &c)
+    {
+        if (cb.onComplete)
+            cb.onComplete(c);
+    }
+    void
+    onShed(std::uint64_t index, double now, double demand, std::uint32_t cls)
+    {
+        if (cb.onShed)
+            cb.onShed(index, now, demand, cls);
+    }
+    void
+    onQuantum(double boundaryMs)
+    {
+        if (cb.onQuantum)
+            cb.onQuantum(boundaryMs);
+    }
+    double quantumMs() const { return cb.quantumMs; }
+    double rateHintPerMs() const { return cb.rateHintPerMs; }
+};
+
+} // namespace
 
 void
 EventEngine::run(std::uint64_t requests, const Callbacks &cb)
@@ -369,59 +270,7 @@ EventEngine::run(std::uint64_t requests, const Callbacks &cb)
     STRETCH_ASSERT(!(cb.nextArrival && cb.nextClass),
                    "nextArrival already carries the class tag; nextClass "
                    "must be empty");
-    STRETCH_ASSERT(cb.quantumMs >= 0.0, "negative control quantum");
-    STRETCH_ASSERT(cb.rateHintPerMs >= 0.0, "negative arrival-rate hint");
-    // Fresh simulation state: a reused engine must not leak the previous
-    // run's queues, makespan, or undelivered events.
-    srv.assign(srv.size(), ServerState{});
-    arena.clear();
-    calendar.reset(cb.rateHintPerMs > 0.0 ? 1.0 / cb.rateHintPerMs : 1.0);
-    heap.clear();
-    elapsed = 0.0;
-    nextBoundary = cb.quantumMs;
-
-    double now = 0.0;
-    for (std::uint64_t i = 0; i < requests; ++i) {
-        double gap;
-        std::uint32_t cls;
-        if (cb.nextArrival) {
-            // Superposed per-class streams: the winning class's process
-            // fixes the gap and the tag jointly.
-            Arrival a = cb.nextArrival();
-            gap = a.gapMs;
-            cls = a.classId;
-        } else {
-            gap = cb.nextGap();
-            cls = cb.nextClass ? cb.nextClass() : 0;
-        }
-        STRETCH_ASSERT(gap >= 0.0, "negative interarrival gap");
-        double t = now + gap;
-        double demand = cb.nextDemand(cls);
-        STRETCH_ASSERT(demand >= 0.0, "negative demand");
-
-        // Replay the simulated past before the new arrival acts on it.
-        drainUntil(t, cb);
-        now = t;
-
-        std::size_t s = cb.place(now, demand, cls);
-        if (s == shed) {
-            // Admission control dropped the request: nothing is booked
-            // and no completion will be delivered.
-            if (cb.onShed)
-                cb.onShed(i, now, demand, cls);
-            continue;
-        }
-        STRETCH_ASSERT(s < srv.size(), "placement selected no server");
-        double start = std::max(now, srv[s].freeAtMs);
-        double finish = cb.finish(s, start, demand);
-        STRETCH_ASSERT(finish >= start, "finish before start");
-        srv[s].freeAtMs = finish;
-        srv[s].busyMs += finish - start;
-        ++srv[s].placed;
-        elapsed = std::max(elapsed, finish);
-        pushPending(arena.alloc(finish, i, s, cls, now, start));
-    }
-    drainUntil(elapsed, cb);
+    run(requests, ErasedPolicy{cb});
 }
 
 } // namespace stretch::queueing

@@ -39,14 +39,31 @@
  * deliver the exact same total order (finish time ascending, arrival
  * index breaking ties), so the choice can never change a simulated
  * result — see tests/test_event_queue.cc.
+ *
+ * Callback dispatch: the run loop is a template over a statically-typed
+ * policy (`run(requests, Policy&&)`), so a caller whose policy carries
+ * concrete lambda types pays zero type-erasure — every hook inlines into
+ * the loop. The `std::function`-based `Callbacks` struct remains as the
+ * erased front door: `run(requests, const Callbacks&)` wraps it in an
+ * adapter policy and drives the same templated loop, so both paths are
+ * one code path and produce bit-identical results (property-tested in
+ * tests/test_event_queue.cc). Hot callers (`sim::dispatchRequests`,
+ * `queueing::simulateService`, the engine benches) build typed policies
+ * via `makePolicy`.
  */
 
 #ifndef STRETCH_QUEUEING_EVENT_ENGINE_H
 #define STRETCH_QUEUEING_EVENT_ENGINE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "util/log.h"
 
 namespace stretch::queueing
 {
@@ -170,8 +187,82 @@ class EventEngine
     explicit EventEngine(std::size_t servers,
                          EventQueueKind kind = EventQueueKind::Calendar);
 
-    /** Generate and serve @p requests arrivals, then drain all events. */
+    /** Generate and serve @p requests arrivals, then drain all events
+     *  (the type-erased front door: adapts @p cb onto the templated
+     *  loop, so erased and typed runs are the same code path). */
     void run(std::uint64_t requests, const Callbacks &cb);
+
+    /**
+     * Statically-typed run loop: generate and serve @p requests arrivals
+     * through @p policy, then drain all events.
+     *
+     * A policy is any type providing (non-virtually, so everything can
+     * inline into the loop):
+     *
+     *   Arrival nextArrival();                   // joint gap+class draw
+     *   double nextDemand(std::uint32_t cls);
+     *   std::size_t place(double now, double demand, std::uint32_t cls);
+     *   double finish(std::size_t server, double start, double demand);
+     *   void onComplete(const Completion &);
+     *   void onShed(std::uint64_t index, double now, double demand,
+     *               std::uint32_t cls);
+     *   void onQuantum(double boundaryMs);
+     *   double quantumMs() const;                // 0 disables onQuantum
+     *   double rateHintPerMs() const;            // 0 = unknown
+     *
+     * Single-stream sources return `{gap, 0}` (or `{gap, class}`) from
+     * nextArrival — the engine no longer distinguishes the two arrival
+     * shapes at run time. Build one with `makePolicy`, which fills the
+     * optional hooks with no-op functors the optimiser deletes.
+     *
+     * The event order, tie-breaking, and every callback's invocation
+     * sequence are identical to the `Callbacks` path: the erased run()
+     * is implemented on this template (see tests/test_event_queue.cc).
+     */
+    template <class Policy,
+              class = std::enable_if_t<!std::is_same<
+                  std::decay_t<Policy>, Callbacks>::value>>
+    void
+    run(std::uint64_t requests, Policy &&policy)
+    {
+        auto &p = policy; // one name whatever the value category
+        STRETCH_ASSERT(p.quantumMs() >= 0.0, "negative control quantum");
+        STRETCH_ASSERT(p.rateHintPerMs() >= 0.0,
+                       "negative arrival-rate hint");
+        beginRun(p.quantumMs(), p.rateHintPerMs());
+        const double quantum = p.quantumMs();
+
+        double now = 0.0;
+        for (std::uint64_t i = 0; i < requests; ++i) {
+            const Arrival a = p.nextArrival();
+            STRETCH_ASSERT(a.gapMs >= 0.0, "negative interarrival gap");
+            const double t = now + a.gapMs;
+            const double demand = p.nextDemand(a.classId);
+            STRETCH_ASSERT(demand >= 0.0, "negative demand");
+
+            // Replay the simulated past before the new arrival acts on it.
+            drainUntil(t, quantum, p);
+            now = t;
+
+            const std::size_t s = p.place(now, demand, a.classId);
+            if (s == shed) {
+                // Admission control dropped the request: nothing is
+                // booked and no completion will be delivered.
+                p.onShed(i, now, demand, a.classId);
+                continue;
+            }
+            STRETCH_ASSERT(s < srv.size(), "placement selected no server");
+            const double start = std::max(now, srv[s].freeAtMs);
+            const double finish = p.finish(s, start, demand);
+            STRETCH_ASSERT(finish >= start, "finish before start");
+            srv[s].freeAtMs = finish;
+            srv[s].busyMs += finish - start;
+            ++srv[s].placed;
+            elapsed = std::max(elapsed, finish);
+            pushPending(arena.alloc(finish, i, s, a.classId, now, start));
+        }
+        drainUntil(elapsed, quantum, p);
+    }
 
     /** Per-server states (valid during callbacks and after run()). */
     const std::vector<ServerState> &servers() const { return srv; }
@@ -181,11 +272,19 @@ class EventEngine
 
     /** Server whose queue drains earliest (ties to the lowest index);
      *  placing every request here reproduces a central FCFS queue over
-     *  the whole pool. */
+     *  the whole pool. Deliberately out of line: folding the scan into
+     *  the templated run loop measurably blew its inlining budget. */
     std::size_t leastFreeServer() const;
 
-    /** Pending work (ms) queued on server @p s at time @p now. */
-    double backlogMs(std::size_t s, double now) const;
+    /** Pending work (ms) queued on server @p s at time @p now. Inline:
+     *  load-sensitive placement policies probe every serving core per
+     *  request, and the probe is two loads and a max. */
+    double
+    backlogMs(std::size_t s, double now) const
+    {
+        STRETCH_ASSERT(s < srv.size(), "bad server index");
+        return std::max(0.0, srv[s].freeAtMs - now);
+    }
 
     /**
      * Consume @p ms of server @p s's capacity starting no earlier than
@@ -222,8 +321,30 @@ class EventEngine
         std::vector<std::uint32_t> classId; ///< cold: Completion payload
         std::vector<Slot> freeSlots;       ///< recycled slot ids
 
-        Slot alloc(double finish, std::uint64_t idx, std::size_t srv,
-                   std::uint32_t cls, double arrival, double start);
+        Slot
+        alloc(double finish, std::uint64_t idx, std::size_t srv_,
+              std::uint32_t cls, double arrival, double start)
+        {
+            if (!freeSlots.empty()) {
+                Slot s = freeSlots.back();
+                freeSlots.pop_back();
+                finishMs[s] = finish;
+                index[s] = idx;
+                arrivalMs[s] = arrival;
+                startMs[s] = start;
+                server[s] = static_cast<std::uint32_t>(srv_);
+                classId[s] = cls;
+                return s;
+            }
+            Slot s = static_cast<Slot>(finishMs.size());
+            finishMs.push_back(finish);
+            index.push_back(idx);
+            arrivalMs.push_back(arrival);
+            startMs.push_back(start);
+            server.push_back(static_cast<std::uint32_t>(srv_));
+            classId.push_back(cls);
+            return s;
+        }
         void release(Slot s) { freeSlots.push_back(s); }
         void clear();
     };
@@ -258,23 +379,172 @@ class EventEngine
         std::size_t minBucket = 0;
         std::size_t minPos = 0;
 
+        /** Floor of the bucket-count adaptation (kept modest so tiny
+         *  runs don't thrash allocations). */
+        static constexpr std::size_t minBuckets = 64;
+        /** Width floor: a zero/denormal width would overflow vbOf. */
+        static constexpr double minWidth = 1e-9;
+
         void reset(double width_ms);
-        void push(Slot s, const PendingArena &a);
-        Slot pop(const PendingArena &a);
-        double peekTimeMs(const PendingArena &a);
         bool empty() const { return count == 0; }
 
-        std::uint64_t vbOf(double t) const;
+        // The steady-state push/peek/pop cycle is defined inline: these
+        // run once per simulated event from the templated run loop, and
+        // keeping them visible there lets the whole cycle fold into the
+        // loop without a call (the cold findMin/rebucket stay out of
+        // line in the .cc).
+
+        void
+        push(Slot s, const PendingArena &a)
+        {
+            const double t = a.finishMs[s];
+            const std::uint64_t vb = vbOf(t);
+            if (s >= slotVb.size())
+                slotVb.resize(s + 1);
+            slotVb[s] = vb;
+            std::vector<Slot> &b = buckets[vb & mask];
+            b.push_back(s);
+            ++count;
+            // An event earlier than the scan cursor must pull it back,
+            // or the next scan would skip right past it.
+            if (vb < cursorVb)
+                cursorVb = vb;
+            if (minValid) {
+                const double mt = a.finishMs[minSlot];
+                if (t < mt || (t == mt && a.index[s] < a.index[minSlot])) {
+                    minSlot = s;
+                    minBucket = vb & mask;
+                    minPos = b.size() - 1;
+                }
+            }
+            if (count > 2 * buckets.size())
+                rebucket(buckets.size() * 2, a);
+        }
+
+        double
+        peekTimeMs(const PendingArena &a)
+        {
+            if (!minValid)
+                findMin(a);
+            return minValid
+                       ? a.finishMs[minSlot]
+                       : std::numeric_limits<double>::infinity();
+        }
+
+        Slot
+        pop(const PendingArena &a)
+        {
+            if (!minValid)
+                findMin(a);
+            STRETCH_ASSERT(minValid, "pop from an empty calendar queue");
+            const Slot s = minSlot;
+            std::vector<Slot> &b = buckets[minBucket];
+            b[minPos] = b.back();
+            b.pop_back();
+            --count;
+            minValid = false;
+            if (buckets.size() > minBuckets && count * 8 < buckets.size())
+                rebucket(std::max(minBuckets, buckets.size() / 4), a);
+            return s;
+        }
+
+        std::uint64_t
+        vbOf(double t) const
+        {
+            double q = t / width;
+            // Clamp: events absurdly far out (or +inf finish times) all
+            // share the last representable virtual bucket; the exact
+            // (finish, index) compare in the scan still orders them
+            // correctly.
+            if (q >= 9.0e18)
+                return static_cast<std::uint64_t>(9.0e18);
+            if (q <= 0.0)
+                return 0;
+            return static_cast<std::uint64_t>(q);
+        }
+
         void findMin(const PendingArena &a);
         void rebucket(std::size_t nbuckets, const PendingArena &a);
     };
 
-    /** Deliver completions and quantum boundaries with time <= t. */
-    void drainUntil(double t, const Callbacks &cb);
+    /** Reset server/event/boundary state for a fresh run. */
+    void beginRun(double quantum_ms, double rate_hint_per_ms);
 
-    void pushPending(Slot s);
-    Slot popPending();
-    double peekPendingTimeMs();
+    /** Deliver completions and quantum boundaries with time <= t. */
+    template <class Policy>
+    void
+    drainUntil(double t, double quantum, Policy &p)
+    {
+        constexpr double inf = std::numeric_limits<double>::infinity();
+        for (;;) {
+            const double tc = peekPendingTimeMs();
+            const double tq = quantum > 0.0 ? nextBoundary : inf;
+            // Completions first on ties: a request finishing exactly on a
+            // boundary belongs to the window the boundary closes.
+            if (tc <= tq && tc <= t) {
+                const Slot c = popPending();
+                Completion done;
+                done.index = arena.index[c];
+                done.server = arena.server[c];
+                done.classId = arena.classId[c];
+                done.arrivalMs = arena.arrivalMs[c];
+                done.startMs = arena.startMs[c];
+                done.finishMs = arena.finishMs[c];
+                p.onComplete(done);
+                arena.release(c);
+                continue;
+            }
+            if (tq < tc && tq <= t) {
+                p.onQuantum(tq);
+                nextBoundary += quantum;
+                continue;
+            }
+            break;
+        }
+    }
+
+    // Queue-kind dispatch, inline for the same reason as the calendar
+    // fast path: one well-predicted branch per event beats a call.
+
+    void
+    pushPending(Slot s)
+    {
+        if (kind == EventQueueKind::Calendar) {
+            calendar.push(s, arena);
+            return;
+        }
+        heap.push_back(s);
+        std::push_heap(heap.begin(), heap.end(), [this](Slot x, Slot y) {
+            if (arena.finishMs[x] != arena.finishMs[y])
+                return arena.finishMs[x] > arena.finishMs[y];
+            return arena.index[x] > arena.index[y];
+        });
+    }
+
+    Slot
+    popPending()
+    {
+        if (kind == EventQueueKind::Calendar)
+            return calendar.pop(arena);
+        std::pop_heap(heap.begin(), heap.end(), [this](Slot x, Slot y) {
+            if (arena.finishMs[x] != arena.finishMs[y])
+                return arena.finishMs[x] > arena.finishMs[y];
+            return arena.index[x] > arena.index[y];
+        });
+        Slot s = heap.back();
+        heap.pop_back();
+        return s;
+    }
+
+    double
+    peekPendingTimeMs()
+    {
+        if (kind == EventQueueKind::Calendar)
+            return calendar.peekTimeMs(arena);
+        return heap.empty() ? std::numeric_limits<double>::infinity()
+                            : arena.finishMs[heap.front()];
+    }
+
     bool pendingEmpty() const;
 
     std::vector<ServerState> srv;
@@ -285,6 +555,98 @@ class EventEngine
     double elapsed = 0.0;
     double nextBoundary = 0.0;
 };
+
+/// @name No-op policy hooks
+/// Empty functors standing in for unused optional hooks in `makePolicy`;
+/// calls to them compile away entirely (the typed-loop analogue of
+/// leaving a `Callbacks` std::function empty).
+/// @{
+struct NoopComplete
+{
+    void operator()(const Completion &) const {}
+};
+struct NoopShed
+{
+    void operator()(std::uint64_t, double, double, std::uint32_t) const {}
+};
+struct NoopQuantum
+{
+    void operator()(double) const {}
+};
+/// @}
+
+/**
+ * Statically-typed callbacks policy for `EventEngine::run(requests,
+ * Policy&&)`: each hook is stored with its concrete (usually lambda)
+ * type, so the engine's templated loop inlines every per-event call
+ * instead of paying a `std::function` indirection. Construct via
+ * `makePolicy` — the member order is an implementation detail.
+ */
+template <class ArrivalFn, class DemandFn, class PlaceFn, class FinishFn,
+          class CompleteFn, class ShedFn, class QuantumFn>
+struct EnginePolicy
+{
+    ArrivalFn arrivalFn;
+    DemandFn demandFn;
+    PlaceFn placeFn;
+    FinishFn finishFn;
+    CompleteFn completeFn;
+    ShedFn shedFn;
+    QuantumFn quantumFn;
+    double quantum = 0.0;
+    double rateHint = 0.0;
+
+    EventEngine::Arrival nextArrival() { return arrivalFn(); }
+    double nextDemand(std::uint32_t cls) { return demandFn(cls); }
+    std::size_t
+    place(double now, double demand, std::uint32_t cls)
+    {
+        return placeFn(now, demand, cls);
+    }
+    double
+    finish(std::size_t server, double start, double demand)
+    {
+        return finishFn(server, start, demand);
+    }
+    void onComplete(const Completion &c) { completeFn(c); }
+    void
+    onShed(std::uint64_t index, double now, double demand, std::uint32_t cls)
+    {
+        shedFn(index, now, demand, cls);
+    }
+    void onQuantum(double boundaryMs) { quantumFn(boundaryMs); }
+    double quantumMs() const { return quantum; }
+    double rateHintPerMs() const { return rateHint; }
+};
+
+/**
+ * Build a statically-typed engine policy from concrete callables (the
+ * typed twin of filling in a `Callbacks`).
+ *
+ * @param arrival joint gap+class draw; single-stream sources return
+ *        `{gap, 0}` (or `{gap, class}` after their own class draw).
+ * @param demand  raw service demand of the next request of a class.
+ * @param place   serving-server choice (may return `EventEngine::shed`).
+ * @param finish  demand -> completion-time model.
+ * @param complete / shed / quantum optional hooks; the defaults are
+ *        no-ops that vanish at compile time.
+ * @param quantum_ms control-quantum length (0 disables `quantum`).
+ * @param rate_hint_per_ms calendar-queue sizing hint (0 = unknown).
+ */
+template <class ArrivalFn, class DemandFn, class PlaceFn, class FinishFn,
+          class CompleteFn = NoopComplete, class ShedFn = NoopShed,
+          class QuantumFn = NoopQuantum>
+EnginePolicy<ArrivalFn, DemandFn, PlaceFn, FinishFn, CompleteFn, ShedFn,
+             QuantumFn>
+makePolicy(ArrivalFn arrival, DemandFn demand, PlaceFn place, FinishFn finish,
+           CompleteFn complete = CompleteFn{}, ShedFn shed = ShedFn{},
+           QuantumFn quantum = QuantumFn{}, double quantum_ms = 0.0,
+           double rate_hint_per_ms = 0.0)
+{
+    return {std::move(arrival), std::move(demand),  std::move(place),
+            std::move(finish),  std::move(complete), std::move(shed),
+            std::move(quantum), quantum_ms,          rate_hint_per_ms};
+}
 
 } // namespace stretch::queueing
 

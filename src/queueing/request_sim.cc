@@ -43,25 +43,26 @@ simulateService(const ServiceSpec &spec, double rate_per_ms,
     // worker that frees up first.
     Histogram hist(1e-3);
     EventEngine engine(spec.workers);
-    EventEngine::Callbacks cb;
-    cb.rateHintPerMs = rate_per_ms;
-    // No gap batching here: this rng interleaves arrival and demand
-    // draws, so drawing gaps ahead would change the realized samples.
-    cb.nextGap = [&] { return arrivals.next(rng); };
-    cb.nextDemand = [&](std::uint32_t) {
-        return rng.lognormal(mu, spec.logSigma) * knobs.perfScale;
-    };
-    cb.place = [&](double, double, std::uint32_t) {
-        return engine.leastFreeServer();
-    };
-    cb.finish = [&](std::size_t, double start, double demand) {
-        return modulator.finish(start, demand);
-    };
-    cb.onComplete = [&](const Completion &c) {
-        if (c.index >= knobs.warmup)
-            hist.record(c.latencyMs());
-    };
-    engine.run(knobs.warmup + knobs.requests, cb);
+    // Typed policy: every hook below inlines into the engine loop. No
+    // gap batching here: this rng interleaves arrival and demand draws,
+    // so drawing gaps ahead would change the realized samples.
+    auto policy = makePolicy(
+        [&] { return EventEngine::Arrival{arrivals.next(rng), 0}; },
+        [&](std::uint32_t) {
+            return rng.lognormal(mu, spec.logSigma) * knobs.perfScale;
+        },
+        [&](double, double, std::uint32_t) {
+            return engine.leastFreeServer();
+        },
+        [&](std::size_t, double start, double demand) {
+            return modulator.finish(start, demand);
+        },
+        [&](const Completion &c) {
+            if (c.index >= knobs.warmup)
+                hist.record(c.latencyMs());
+        });
+    policy.rateHint = rate_per_ms;
+    engine.run(knobs.warmup + knobs.requests, policy);
 
     LatencyResult r;
     r.count = hist.count();

@@ -11,6 +11,7 @@
 #include "queueing/arrivals.h"
 #include "queueing/event_engine.h"
 #include "sim/op_point_cache.h"
+#include "stats/streaming_tail.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -353,22 +354,28 @@ dispatchRequests(const DispatchConfig &cfg)
         return cfg.rates[c].rate(mode[c]);
     };
 
+    // Latency accounting: streaming histograms by default (O(1) record,
+    // bin-resolution quantiles), exact raw samples on request.
+    const bool exact = cfg.exactTailQuantiles;
+    const stats::TailRecorder recorderProto(exact);
+
     // Completion-timeline buckets (sized lazily as the run extends).
     const bool timelineOn = cfg.timelineBucketMs > 0.0;
     const std::size_t numClasses = cfg.classes.size();
-    std::vector<std::vector<double>> bucketLatencies;
+    std::vector<stats::TailRecorder> bucketLatencies;
     std::vector<double> bucketThrottleMs;
     // Per-bucket per-class slices (class-tagged dispatch only).
-    std::vector<std::vector<std::vector<double>>> bucketClassLatencies;
+    std::vector<std::vector<stats::TailRecorder>> bucketClassLatencies;
     std::vector<std::vector<std::uint64_t>> bucketClassShed;
     auto bucketAt = [&](double t) -> std::size_t {
         auto b = static_cast<std::size_t>(t / cfg.timelineBucketMs);
         if (bucketLatencies.size() <= b) {
-            bucketLatencies.resize(b + 1);
+            bucketLatencies.resize(b + 1, recorderProto);
             bucketThrottleMs.resize(b + 1, 0.0);
             if (classesOn) {
                 bucketClassLatencies.resize(
-                    b + 1, std::vector<std::vector<double>>(numClasses));
+                    b + 1, std::vector<stats::TailRecorder>(numClasses,
+                                                            recorderProto));
                 bucketClassShed.resize(
                     b + 1, std::vector<std::uint64_t>(numClasses, 0));
             }
@@ -377,12 +384,13 @@ dispatchRequests(const DispatchConfig &cfg)
     };
 
     // Per-class accounting: completed sojourns, SLO hits, shed counts.
-    std::vector<std::vector<double>> classLatencies(numClasses);
+    std::vector<stats::TailRecorder> classLatencies(numClasses,
+                                                    recorderProto);
     std::vector<std::uint64_t> classGood(numClasses, 0);
     std::vector<std::uint64_t> classShed(numClasses, 0);
 
     queueing::EventEngine engine(n);
-    std::vector<double> latencies;
+    stats::TailRecorder latencies(exact);
     latencies.reserve(cfg.requests);
     std::size_t rr_next = 0; // round-robin cursor over serving cores
 
@@ -393,31 +401,47 @@ dispatchRequests(const DispatchConfig &cfg)
     std::array<double, 256> gapBlock;
     std::size_t gapNext = gapBlock.size();
 
-    queueing::EventEngine::Callbacks cb;
-    cb.rateHintPerMs = out.offeredRatePerMs;
-    if (perClassArr) {
-        cb.nextArrival = [&] { return classArrivals->next(); };
-    } else {
-        cb.nextGap = [&] {
-            if (gapNext == gapBlock.size()) {
-                arrivals->fill(arrivalsRng, gapBlock.data(),
-                               gapBlock.size());
-                gapNext = 0;
-            }
-            return gapBlock[gapNext++];
-        };
-        if (classesOn)
-            cb.nextClass = [&] { return cfg.classes.sample(classRng); };
-    }
-    cb.nextDemand = [&](std::uint32_t cls) {
+    // Demand draws are batched the same way when the stream allows it:
+    // with no class registry, demandsRng feeds one fixed distribution
+    // and nothing else, and every draw consumes a fixed number of
+    // uniforms — so prefetching a block through Rng::fill* leaves every
+    // realized demand bit-identical. Class-tagged runs draw per arrival
+    // (the distribution depends on the class tag).
+    std::array<double, 256> demandBlock;
+    std::size_t demandNext = demandBlock.size();
+
+    auto arrivalFn = [&]() -> queueing::EventEngine::Arrival {
+        if (perClassArr) {
+            // Superposed per-class streams fix the gap and tag jointly.
+            return classArrivals->next();
+        }
+        queueing::EventEngine::Arrival a;
+        if (gapNext == gapBlock.size()) {
+            arrivals->fill(arrivalsRng, gapBlock.data(), gapBlock.size());
+            gapNext = 0;
+        }
+        a.gapMs = gapBlock[gapNext++];
+        a.classId = classesOn ? cfg.classes.sample(classRng) : 0;
+        return a;
+    };
+    auto demandFn = [&](std::uint32_t cls) {
         if (classesOn)
             return cfg.classes.drawDemand(cls, demandsRng);
-        return cfg.demandLogSigma > 0.0
-                   ? demandsRng.lognormal(demandMu, cfg.demandLogSigma)
-                   : demandsRng.exponential(1.0);
+        if (demandNext == demandBlock.size()) {
+            if (cfg.demandLogSigma > 0.0) {
+                demandsRng.fillLognormal(demandMu, cfg.demandLogSigma,
+                                         demandBlock.data(),
+                                         demandBlock.size());
+            } else {
+                demandsRng.fillExponential(1.0, demandBlock.data(),
+                                           demandBlock.size());
+            }
+            demandNext = 0;
+        }
+        return demandBlock[demandNext++];
     };
-    cb.place = [&](double now, double demand,
-                   std::uint32_t cls) -> std::size_t {
+    auto placeFn = [&](double now, double demand,
+                       std::uint32_t cls) -> std::size_t {
         switch (cfg.policy) {
         case PlacementPolicy::RoundRobin: {
             while (cfg.rates[rr_next % n].baseline <= 0.0)
@@ -477,26 +501,27 @@ dispatchRequests(const DispatchConfig &cfg)
         }
         return n; // unreachable; engine asserts
     };
-    cb.onShed = [&](std::uint64_t, double now, double, std::uint32_t cls) {
+    auto shedFn = [&](std::uint64_t, double now, double,
+                      std::uint32_t cls) {
         ++classShed[cls];
         if (timelineOn)
             ++bucketClassShed[bucketAt(now)][cls];
     };
-    cb.finish = [&](std::size_t s, double start, double demand) {
+    auto finishFn = [&](std::size_t s, double start, double demand) {
         return start + demand / rate[s];
     };
-    cb.onComplete = [&](const queueing::Completion &c) {
-        latencies.push_back(c.latencyMs());
+    auto completeFn = [&](const queueing::Completion &c) {
+        latencies.record(c.latencyMs());
         if (classesOn) {
-            classLatencies[c.classId].push_back(c.latencyMs());
+            classLatencies[c.classId].record(c.latencyMs());
             if (c.latencyMs() <= cfg.classes.at(c.classId).sloMs)
                 ++classGood[c.classId];
         }
         if (timelineOn) {
             std::size_t b = bucketAt(c.finishMs);
-            bucketLatencies[b].push_back(c.latencyMs());
+            bucketLatencies[b].record(c.latencyMs());
             if (classesOn)
-                bucketClassLatencies[b][c.classId].push_back(c.latencyMs());
+                bucketClassLatencies[b][c.classId].record(c.latencyMs());
         }
         if (controls[c.server]) {
             // With classes, each class feeds its own monitor (targeting
@@ -516,105 +541,108 @@ dispatchRequests(const DispatchConfig &cfg)
             }
         }
     };
-    if (dynamic) {
-        cb.quantumMs = mc.quantumMs;
-        cb.onQuantum = [&](double t) {
-            std::size_t throttledNow = 0;
-            for (std::size_t c : servingIdx) {
-                CoreControl &cc = *controls[c];
-                StretchMode next = mode[c];
-                bool wantThrottle = static_cast<bool>(throttled[c]);
-                switch (mc.kind) {
-                case ModePolicyKind::BacklogHysteresis: {
-                    double backlog = engine.backlogMs(c, t);
-                    switch (mode[c]) {
-                    case StretchMode::BatchBoost:
-                        if (backlog > mc.qmodeAboveMs)
-                            next = StretchMode::QosBoost;
-                        else if (backlog > mc.disengageAboveMs)
-                            next = StretchMode::Baseline;
-                        break;
-                    case StretchMode::Baseline:
-                        if (backlog > mc.qmodeAboveMs)
-                            next = StretchMode::QosBoost;
-                        else if (backlog < mc.engageBelowMs)
-                            next = StretchMode::BatchBoost;
-                        break;
-                    case StretchMode::QosBoost:
-                        if (backlog < mc.engageBelowMs)
-                            next = StretchMode::BatchBoost;
-                        else if (backlog < mc.disengageAboveMs)
-                            next = StretchMode::Baseline;
-                        break;
-                    }
+    // Quantum-boundary mode control. The hook is always part of the
+    // policy type; a zero quantum (Static control) simply never fires
+    // it, so no controller state is touched.
+    auto quantumFn = [&](double t) {
+        std::size_t throttledNow = 0;
+        for (std::size_t c : servingIdx) {
+            CoreControl &cc = *controls[c];
+            StretchMode next = mode[c];
+            bool wantThrottle = static_cast<bool>(throttled[c]);
+            switch (mc.kind) {
+            case ModePolicyKind::BacklogHysteresis: {
+                double backlog = engine.backlogMs(c, t);
+                switch (mode[c]) {
+                case StretchMode::BatchBoost:
+                    if (backlog > mc.qmodeAboveMs)
+                        next = StretchMode::QosBoost;
+                    else if (backlog > mc.disengageAboveMs)
+                        next = StretchMode::Baseline;
+                    break;
+                case StretchMode::Baseline:
+                    if (backlog > mc.qmodeAboveMs)
+                        next = StretchMode::QosBoost;
+                    else if (backlog < mc.engageBelowMs)
+                        next = StretchMode::BatchBoost;
+                    break;
+                case StretchMode::QosBoost:
+                    if (backlog < mc.engageBelowMs)
+                        next = StretchMode::BatchBoost;
+                    else if (backlog < mc.disengageAboveMs)
+                        next = StretchMode::Baseline;
                     break;
                 }
-                case ModePolicyKind::SlackDriven:
-                    if (classesOn) {
-                        // One monitor per class, each judged against its
-                        // own SLO; the core follows the most severe vote
-                        // (the tightest class wins) and throttles when
-                        // any class's ladder orders it.
-                        int best_sev = -1;
-                        bool any_throttle = false;
-                        for (Cpi2Monitor &m : cc.classMonitors) {
-                            if (m.windowFill() == 0)
-                                continue;
-                            MonitorDecision d = m.evaluateWindowNow();
-                            best_sev =
-                                std::max(best_sev, modeSeverity(d.mode));
-                            any_throttle |= d.throttleCoRunner;
-                        }
-                        if (best_sev >= 0) {
-                            next = modeForSeverity(best_sev);
-                            wantThrottle =
-                                mc.honorThrottle && any_throttle;
-                        }
-                    } else if (cc.monitor.windowFill() > 0) {
-                        MonitorDecision d = cc.monitor.evaluateWindowNow();
-                        next = d.mode;
+                break;
+            }
+            case ModePolicyKind::SlackDriven:
+                if (classesOn) {
+                    // One monitor per class, each judged against its
+                    // own SLO; the core follows the most severe vote
+                    // (the tightest class wins) and throttles when
+                    // any class's ladder orders it.
+                    int best_sev = -1;
+                    bool any_throttle = false;
+                    for (Cpi2Monitor &m : cc.classMonitors) {
+                        if (m.windowFill() == 0)
+                            continue;
+                        MonitorDecision d = m.evaluateWindowNow();
+                        best_sev =
+                            std::max(best_sev, modeSeverity(d.mode));
+                        any_throttle |= d.throttleCoRunner;
+                    }
+                    if (best_sev >= 0) {
+                        next = modeForSeverity(best_sev);
                         wantThrottle =
-                            mc.honorThrottle && d.throttleCoRunner;
+                            mc.honorThrottle && any_throttle;
                     }
-                    break;
-                case ModePolicyKind::Static:
-                    break;
+                } else if (cc.monitor.windowFill() > 0) {
+                    MonitorDecision d = cc.monitor.evaluateWindowNow();
+                    next = d.mode;
+                    wantThrottle =
+                        mc.honorThrottle && d.throttleCoRunner;
                 }
-                CoreModeStats &ms = out.modeStats[c];
-                if (wantThrottle != static_cast<bool>(throttled[c])) {
-                    // Act on the monitor's ladder: suppress or release the
-                    // batch co-runner. The LS thread serves at the
-                    // throttled rate while the suppression holds.
-                    if (wantThrottle) {
-                        ++ms.throttleEngagements;
-                        throttleStartMs[c] = t;
-                    } else {
-                        ms.throttleMs += t - throttleStartMs[c];
-                    }
-                    throttled[c] = wantThrottle;
-                    rate[c] = effectiveRate(c);
+                break;
+            case ModePolicyKind::Static:
+                break;
+            }
+            CoreModeStats &ms = out.modeStats[c];
+            if (wantThrottle != static_cast<bool>(throttled[c])) {
+                // Act on the monitor's ladder: suppress or release the
+                // batch co-runner. The LS thread serves at the
+                // throttled rate while the suppression holds.
+                if (wantThrottle) {
+                    ++ms.throttleEngagements;
+                    throttleStartMs[c] = t;
+                } else {
+                    ms.throttleMs += t - throttleStartMs[c];
                 }
-                if (throttled[c])
-                    ++throttledNow;
-                if (next == mode[c])
-                    continue;
-                ms.residencyMs[modeIndex(mode[c])] += t - segStartMs[c];
-                segStartMs[c] = t;
-                cc.ctrl.engage(next); // register write + partitions + flush
-                engine.chargeCapacity(c, t, mc.flushCostMs);
-                ms.flushMs += mc.flushCostMs;
-                ++ms.transitions;
-                mode[c] = next;
+                throttled[c] = wantThrottle;
                 rate[c] = effectiveRate(c);
             }
-            if (timelineOn && throttledNow > 0) {
-                bucketThrottleMs[bucketAt(t)] +=
-                    mc.quantumMs * static_cast<double>(throttledNow);
-            }
-        };
-    }
+            if (throttled[c])
+                ++throttledNow;
+            if (next == mode[c])
+                continue;
+            ms.residencyMs[modeIndex(mode[c])] += t - segStartMs[c];
+            segStartMs[c] = t;
+            cc.ctrl.engage(next); // register write + partitions + flush
+            engine.chargeCapacity(c, t, mc.flushCostMs);
+            ms.flushMs += mc.flushCostMs;
+            ++ms.transitions;
+            mode[c] = next;
+            rate[c] = effectiveRate(c);
+        }
+        if (timelineOn && throttledNow > 0) {
+            bucketThrottleMs[bucketAt(t)] +=
+                mc.quantumMs * static_cast<double>(throttledNow);
+        }
+    };
 
-    engine.run(cfg.requests, cb);
+    auto policy = queueing::makePolicy(
+        arrivalFn, demandFn, placeFn, finishFn, completeFn, shedFn,
+        quantumFn, dynamic ? mc.quantumMs : 0.0, out.offeredRatePerMs);
+    engine.run(cfg.requests, policy);
 
     // Close out the mode and throttle timelines at the makespan.
     out.elapsedMs = engine.elapsedMs();
@@ -642,10 +670,10 @@ dispatchRequests(const DispatchConfig &cfg)
         for (std::size_t b = 0; b < bucketLatencies.size(); ++b) {
             TimelineBucket tb;
             tb.startMs = static_cast<double>(b) * cfg.timelineBucketMs;
-            tb.completions = bucketLatencies[b].size();
-            if (!bucketLatencies[b].empty()) {
-                tb.p50Ms = stats::percentile(bucketLatencies[b], 50.0);
-                tb.p99Ms = stats::percentile(bucketLatencies[b], 99.0);
+            tb.completions = bucketLatencies[b].count();
+            if (bucketLatencies[b].count() > 0) {
+                tb.p50Ms = bucketLatencies[b].percentile(50.0);
+                tb.p99Ms = bucketLatencies[b].percentile(99.0);
             }
             if (cfg.diurnalTrace) {
                 tb.loadFraction = cfg.diurnalTrace->loadAt(
@@ -657,11 +685,11 @@ dispatchRequests(const DispatchConfig &cfg)
                 tb.perClass.resize(numClasses);
                 for (std::size_t k = 0; k < numClasses; ++k) {
                     TimelineBucket::ClassCell &cell = tb.perClass[k];
-                    cell.completions = bucketClassLatencies[b][k].size();
+                    cell.completions = bucketClassLatencies[b][k].count();
                     cell.shed = bucketClassShed[b][k];
-                    if (!bucketClassLatencies[b][k].empty()) {
-                        cell.p99Ms = stats::percentile(
-                            bucketClassLatencies[b][k], 99.0);
+                    if (bucketClassLatencies[b][k].count() > 0) {
+                        cell.p99Ms =
+                            bucketClassLatencies[b][k].percentile(99.0);
                     }
                 }
             }
@@ -679,15 +707,13 @@ dispatchRequests(const DispatchConfig &cfg)
                 cfg.classes.at(static_cast<workloads::ClassId>(k));
             ClassOutcome &co = out.perClass[k];
             co.name = sc.name;
-            co.completed = classLatencies[k].size();
+            co.completed = classLatencies[k].count();
             co.shed = classShed[k];
             co.sloTargetMs = sc.sloMs;
             co.tailPercentile = sc.tailPercentile;
-            co.latencyMs = stats::summarize(classLatencies[k]);
-            if (!classLatencies[k].empty()) {
-                co.tailMs = stats::percentile(classLatencies[k],
-                                              sc.tailPercentile);
-            }
+            co.latencyMs = classLatencies[k].summarize();
+            if (classLatencies[k].count() > 0)
+                co.tailMs = classLatencies[k].percentile(sc.tailPercentile);
             std::uint64_t offered = co.completed + co.shed;
             co.sloAttainment =
                 offered > 0 ? static_cast<double>(classGood[k]) /
@@ -697,10 +723,11 @@ dispatchRequests(const DispatchConfig &cfg)
         }
     }
 
-    out.latencyMs = stats::summarize(latencies);
+    out.latencyMs = latencies.summarize();
     out.throughputRps =
         out.elapsedMs > 0.0
-            ? static_cast<double>(latencies.size()) / (out.elapsedMs / 1000.0)
+            ? static_cast<double>(latencies.count()) /
+                  (out.elapsedMs / 1000.0)
             : 0.0;
     return out;
 }
@@ -888,6 +915,7 @@ runFleet(const FleetConfig &cfg)
     dispatch.classes = cfg.classes;
     dispatch.perClassArrivals = cfg.perClassArrivals;
     dispatch.classRouting = cfg.classRouting;
+    dispatch.exactTailQuantiles = cfg.exactTailQuantiles;
     dispatch.control = cfg.modeControl;
     fleet.dispatch = dispatchRequests(dispatch);
 

@@ -306,6 +306,17 @@ struct DispatchConfig
     /** Routing/admission knobs for PlacementPolicy::ClassAware. */
     ClassRouterConfig classRouting;
 
+    /**
+     * Latency-quantile fidelity. False (default) records completions
+     * into streaming log-scale histograms (stats::StreamingTail): O(1)
+     * per completion, bounded memory, quantiles within one histogram
+     * bin (< 0.8% relative) of the exact order statistic. True keeps
+     * every raw sample and reproduces the historical sort-based type-7
+     * quantiles bit-for-bit — for golden tests and figure benches that
+     * compare summaries across runs.
+     */
+    bool exactTailQuantiles = false;
+
     ModeControlConfig control;
 };
 
@@ -478,6 +489,10 @@ struct FleetConfig
 
     /** Routing/admission knobs for PlacementPolicy::ClassAware. */
     ClassRouterConfig classRouting;
+
+    /** Exact sort-based latency quantiles instead of the streaming
+     *  histogram default (see DispatchConfig::exactTailQuantiles). */
+    bool exactTailQuantiles = false;
 
     /**
      * Per-core dynamic Stretch mode control. Any non-Static policy (or a

@@ -1,0 +1,171 @@
+#include "stats/streaming_tail.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace stretch::stats
+{
+
+double
+StreamingTail::binLowerEdge(std::uint32_t index)
+{
+    if (index == 0)
+        return 0.0;
+    std::uint64_t bits = static_cast<std::uint64_t>(index)
+                         << (52 - kSubBucketBits);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+void
+StreamingTail::bump(std::uint32_t index)
+{
+    if (bins.empty()) {
+        base = index;
+        bins.assign(1, 0);
+    } else if (index < base) {
+        // Grow left: shift existing counters up. Rare (the observed
+        // range stabilises after a handful of records).
+        std::size_t extra = base - index;
+        bins.insert(bins.begin(), extra, 0);
+        base = index;
+    } else if (index >= base + bins.size()) {
+        bins.resize(index - base + 1, 0);
+    }
+    ++bins[index - base];
+}
+
+double
+StreamingTail::percentile(double pct) const
+{
+    STRETCH_ASSERT(pct >= 0.0 && pct <= 100.0,
+                   "percentile out of range: ", pct);
+    if (n == 0)
+        return 0.0;
+    // Ceil-rank: the smallest value with at least pct% of the mass at or
+    // below it. rank in [1, n].
+    auto rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    rank = std::max<std::size_t>(1, std::min(rank, n));
+    std::size_t cum = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        cum += bins[i];
+        if (cum >= rank) {
+            auto idx = base + static_cast<std::uint32_t>(i);
+            double lo = binLowerEdge(idx);
+            double hi = binLowerEdge(idx + 1);
+            double mid = std::sqrt(std::max(lo, 1e-300) * hi);
+            // The true order statistic lies inside this bin; clamping to
+            // the observed extremes only ever moves the estimate closer.
+            return std::min(std::max(mid, minSeen), maxSeen);
+        }
+    }
+    return maxSeen; // unreachable when counters are consistent
+}
+
+void
+StreamingTail::merge(const StreamingTail &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    total += other.total;
+    minSeen = std::min(minSeen, other.minSeen);
+    maxSeen = std::max(maxSeen, other.maxSeen);
+    n += other.n;
+    // Widen our window to cover the union, then add counter-wise.
+    std::uint32_t lo = std::min(base, other.base);
+    std::uint32_t hi =
+        std::max(base + static_cast<std::uint32_t>(bins.size()),
+                 other.base + static_cast<std::uint32_t>(other.bins.size()));
+    if (lo < base)
+        bins.insert(bins.begin(), base - lo, 0);
+    base = lo;
+    bins.resize(hi - lo, 0);
+    for (std::size_t i = 0; i < other.bins.size(); ++i)
+        bins[other.base - base + i] += other.bins[i];
+}
+
+ViolinSummary
+StreamingTail::summarize() const
+{
+    ViolinSummary s;
+    s.count = n;
+    if (n == 0)
+        return s;
+    s.min = min();
+    s.max = max();
+    s.mean = mean();
+    s.q1 = percentile(25.0);
+    s.median = percentile(50.0);
+    s.q3 = percentile(75.0);
+    s.p95 = percentile(95.0);
+    s.p99 = percentile(99.0);
+    s.p999 = percentile(99.9);
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// TailRecorder
+
+void
+TailRecorder::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+void
+TailRecorder::merge(const TailRecorder &other)
+{
+    STRETCH_ASSERT(exactMode == other.exactMode,
+                   "cannot merge exact and streaming recorders");
+    if (exactMode) {
+        samples.insert(samples.end(), other.samples.begin(),
+                       other.samples.end());
+        sorted = false;
+    } else {
+        tail.merge(other.tail);
+    }
+}
+
+double
+TailRecorder::percentile(double pct) const
+{
+    if (!exactMode)
+        return tail.percentile(pct);
+    ensureSorted();
+    return percentileSorted(samples, pct);
+}
+
+double
+TailRecorder::mean() const
+{
+    if (!exactMode)
+        return tail.mean();
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    return sum / static_cast<double>(samples.size());
+}
+
+ViolinSummary
+TailRecorder::summarize() const
+{
+    if (!exactMode)
+        return tail.summarize();
+    ensureSorted();
+    return summarizeSorted(samples);
+}
+
+} // namespace stretch::stats

@@ -14,10 +14,6 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
-namespace
-{
-
-/** Type-7 percentile of an already-sorted sample set. */
 double
 percentileSorted(const std::vector<double> &sorted, double pct)
 {
@@ -33,8 +29,6 @@ percentileSorted(const std::vector<double> &sorted, double pct)
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-} // namespace
-
 double
 percentile(std::vector<double> values, double pct)
 {
@@ -43,14 +37,12 @@ percentile(std::vector<double> values, double pct)
 }
 
 ViolinSummary
-summarize(const std::vector<double> &values)
+summarizeSorted(const std::vector<double> &sorted)
 {
     ViolinSummary s;
-    s.count = values.size();
-    if (values.empty())
+    s.count = sorted.size();
+    if (sorted.empty())
         return s;
-    std::vector<double> sorted(values);
-    std::sort(sorted.begin(), sorted.end());
     s.min = sorted.front();
     s.max = sorted.back();
     s.q1 = percentileSorted(sorted, 25.0);
@@ -64,6 +56,14 @@ summarize(const std::vector<double> &values)
         sum += v;
     s.mean = sum / static_cast<double>(sorted.size());
     return s;
+}
+
+ViolinSummary
+summarize(const std::vector<double> &values)
+{
+    std::vector<double> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+    return summarizeSorted(sorted);
 }
 
 double

@@ -88,8 +88,17 @@ struct ViolinSummary
  */
 double percentile(std::vector<double> values, double pct);
 
+/**
+ * Exact type-7 percentile of an already-sorted sample set (no copy, no
+ * sort). Shared by summarize() and the exact path of stats::TailRecorder.
+ */
+double percentileSorted(const std::vector<double> &sorted, double pct);
+
 /** Build a violin summary from a sample set. */
 ViolinSummary summarize(const std::vector<double> &values);
+
+/** Build a violin summary from an already-sorted sample set. */
+ViolinSummary summarizeSorted(const std::vector<double> &sorted);
 
 /** Arithmetic mean of a vector (0 when empty). */
 double mean(const std::vector<double> &values);

@@ -19,14 +19,134 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/log.h"
 
 namespace stretch
 {
+
+/**
+ * Small move-only type-erased `void()` callable: what the pool's queue
+ * holds, so tasks may capture move-only state (a std::unique_ptr result
+ * slot, a std::promise) that `std::function`'s copyability requirement
+ * rejects.
+ *
+ * Callables up to kInlineBytes are stored in place; larger ones go to
+ * the heap. Erasure is a hand-rolled vtable (invoke/moveTo/destroy
+ * function pointers) — C++17 has no std::move_only_function.
+ */
+class MoveOnlyTask
+{
+  public:
+    MoveOnlyTask() = default;
+
+    template <class F,
+              class = std::enable_if_t<
+                  !std::is_same<std::decay_t<F>, MoveOnlyTask>::value>>
+    MoveOnlyTask(F &&f) // NOLINT: intentional converting constructor
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r<void, Fn &>::value,
+                      "task must be callable as void()");
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible<Fn>::value) {
+            ::new (static_cast<void *>(storage)) Fn(std::forward<F>(f));
+            vtable = &inlineVtable<Fn>;
+        } else {
+            ::new (static_cast<void *>(storage))
+                Fn *(new Fn(std::forward<F>(f)));
+            vtable = &heapVtable<Fn>;
+        }
+    }
+
+    MoveOnlyTask(MoveOnlyTask &&other) noexcept
+    {
+        if (other.vtable) {
+            other.vtable->moveTo(other.storage, storage);
+            vtable = other.vtable;
+            other.vtable = nullptr;
+        }
+    }
+
+    MoveOnlyTask &
+    operator=(MoveOnlyTask &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            if (other.vtable) {
+                other.vtable->moveTo(other.storage, storage);
+                vtable = other.vtable;
+                other.vtable = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    MoveOnlyTask(const MoveOnlyTask &) = delete;
+    MoveOnlyTask &operator=(const MoveOnlyTask &) = delete;
+
+    ~MoveOnlyTask() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return vtable != nullptr; }
+
+    /** Invoke the held callable. */
+    void
+    operator()()
+    {
+        STRETCH_ASSERT(vtable, "invoking an empty task");
+        vtable->invoke(storage);
+    }
+
+  private:
+    static constexpr std::size_t kInlineBytes = 48;
+
+    struct VTable
+    {
+        void (*invoke)(void *self);
+        void (*moveTo)(void *self, void *dst); ///< move-construct + destroy
+        void (*destroy)(void *self);
+    };
+
+    template <class Fn>
+    static constexpr VTable inlineVtable = {
+        [](void *self) { (*static_cast<Fn *>(self))(); },
+        [](void *self, void *dst) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(self)));
+            static_cast<Fn *>(self)->~Fn();
+        },
+        [](void *self) { static_cast<Fn *>(self)->~Fn(); },
+    };
+
+    template <class Fn>
+    static constexpr VTable heapVtable = {
+        [](void *self) { (**static_cast<Fn **>(self))(); },
+        [](void *self, void *dst) {
+            ::new (dst) Fn *(*static_cast<Fn **>(self));
+        },
+        [](void *self) { delete *static_cast<Fn **>(self); },
+    };
+
+    void
+    reset()
+    {
+        if (vtable) {
+            vtable->destroy(storage);
+            vtable = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+    const VTable *vtable = nullptr;
+};
 
 /**
  * A fixed set of worker threads draining a FIFO task queue.
@@ -70,9 +190,10 @@ class ThreadPool
     /** Number of worker threads. */
     std::size_t size() const { return workers.size(); }
 
-    /** Enqueue a task; runs as soon as a worker is free. */
+    /** Enqueue a task; runs as soon as a worker is free. Accepts any
+     *  void() callable, including move-only ones. */
     void
-    submit(std::function<void()> task)
+    submit(MoveOnlyTask task)
     {
         STRETCH_ASSERT(task, "cannot submit an empty task");
         {
@@ -143,7 +264,7 @@ class ThreadPool
 
   private:
     void
-    runTask(std::function<void()> task)
+    runTask(MoveOnlyTask task)
     {
         std::exception_ptr err;
         try {
@@ -180,7 +301,7 @@ class ThreadPool
     }
 
     std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
+    std::deque<MoveOnlyTask> queue;
     std::mutex mtx;
     std::condition_variable cv;     ///< wakes workers on submit/shutdown
     std::condition_variable idleCv; ///< wakes wait() on task completion

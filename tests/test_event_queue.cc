@@ -109,6 +109,72 @@ replay(EventQueueKind kind, std::uint64_t seed, double rateHint)
     return log;
 }
 
+/**
+ * The same adversarial traffic driven through a statically-typed policy
+ * (EventEngine::run(Policy&&)) instead of the std::function Callbacks.
+ * Draw order matches replay() exactly — gap, then class, then demand —
+ * so both paths consume identical RNG streams.
+ */
+std::vector<Event>
+replayTyped(EventQueueKind kind, std::uint64_t seed, double rateHint)
+{
+    constexpr std::size_t servers = 4;
+    EventEngine engine(servers, kind);
+    Rng rng(seed, 0x5eed);
+    std::vector<Event> log;
+
+    auto policy = makePolicy(
+        [&]() -> EventEngine::Arrival {
+            double u = rng.uniform();
+            double gap;
+            if (u < 0.2)
+                gap = 0.0; // simultaneous arrivals
+            else if (u < 0.25)
+                gap = rng.exponential(40.0); // long lull
+            else
+                gap = rng.exponential(0.25);
+            return {gap, static_cast<std::uint32_t>(rng.below(6))};
+        },
+        [&](std::uint32_t) -> double {
+            double u = rng.uniform();
+            if (u < 0.15)
+                return 0.0; // finish == start: exact-tie pressure
+            if (u < 0.2)
+                return rng.exponential(120.0); // far-future completion
+            return rng.exponential(0.8);
+        },
+        [&](double, double, std::uint32_t) -> std::size_t {
+            if (rng.uniform() < 0.05)
+                return EventEngine::shed;
+            return rng.below(servers);
+        },
+        [&](std::size_t, double start, double demand) {
+            double finish = start + demand;
+            if (rng.uniform() < 0.3)
+                finish =
+                    start + static_cast<double>(static_cast<int>(demand));
+            return finish;
+        },
+        [&](const Completion &c) {
+            log.push_back({Event::Complete, c.index, c.server, c.classId,
+                           c.arrivalMs, c.startMs, c.finishMs});
+        },
+        [&](std::uint64_t index, double now, double demand,
+            std::uint32_t cls) {
+            log.push_back({Event::Shed, index, 0, cls, now, demand, now});
+        },
+        [&](double boundary) {
+            log.push_back({Event::Quantum, 0, 0, 0, 0.0, 0.0, boundary});
+            if (rng.uniform() < 0.1)
+                engine.chargeCapacity(rng.below(servers), boundary,
+                                      rng.exponential(1.0));
+        });
+    policy.quantum = 0.4;
+    policy.rateHint = rateHint;
+    engine.run(3000, policy);
+    return log;
+}
+
 TEST(EventQueue, CalendarMatchesHeapUnderRandomizedTraffic)
 {
     for (std::uint64_t seed = 1; seed <= 10; ++seed) {
@@ -118,6 +184,25 @@ TEST(EventQueue, CalendarMatchesHeapUnderRandomizedTraffic)
         for (std::size_t i = 0; i < heap.size(); ++i)
             ASSERT_TRUE(heap[i] == cal[i])
                 << "seed " << seed << " event " << i;
+    }
+}
+
+TEST(EventQueue, TypedPolicyMatchesErasedCallbacksBitForBit)
+{
+    // The devirtualized run(Policy&&) loop must be an optimization only:
+    // under the same adversarial traffic it has to deliver the exact
+    // callback sequence the std::function adapter path delivers — every
+    // field bit-identical, across seeds and both queue kinds.
+    for (EventQueueKind kind :
+         {EventQueueKind::Calendar, EventQueueKind::Heap}) {
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            std::vector<Event> erased = replay(kind, seed, 4.0);
+            std::vector<Event> typed = replayTyped(kind, seed, 4.0);
+            ASSERT_EQ(erased.size(), typed.size()) << "seed " << seed;
+            for (std::size_t i = 0; i < erased.size(); ++i)
+                ASSERT_TRUE(erased[i] == typed[i])
+                    << "seed " << seed << " event " << i;
+        }
     }
 }
 

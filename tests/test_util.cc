@@ -5,11 +5,15 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -297,6 +301,43 @@ TEST(ThreadPool, WaitRethrowsFirstTaskError)
     ThreadPool pool(2);
     pool.submit([] { throw std::runtime_error("task failed"); });
     EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables)
+{
+    // Regression: the queue used to hold std::function, whose
+    // copyability requirement rejected unique_ptr-capturing lambdas at
+    // compile time. MoveOnlyTask lifts that.
+    ThreadPool pool(2);
+    std::atomic<int> sum{0};
+    auto payload = std::make_unique<int>(41);
+    pool.submit([p = std::move(payload), &sum] { sum += *p + 1; });
+    // A large capture exercises the heap-fallback path of MoveOnlyTask.
+    std::array<std::uint64_t, 32> big{};
+    big.fill(1);
+    auto heapPayload = std::make_unique<int>(58);
+    pool.submit([p = std::move(heapPayload), big, &sum] {
+        sum += *p + static_cast<int>(big[7]) + 1;
+    });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 42 + 60);
+}
+
+TEST(ThreadPool, MoveOnlyTaskMoveTransfersOwnership)
+{
+    int hits = 0;
+    auto p = std::make_unique<int>(7);
+    MoveOnlyTask a([p = std::move(p), &hits] { hits += *p; });
+    MoveOnlyTask b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 7);
+    MoveOnlyTask c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(hits, 14);
 }
 
 } // namespace

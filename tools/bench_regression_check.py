@@ -5,7 +5,16 @@ Reads two ``bench_to_json.py`` outputs and compares ``items_per_second``
 (simulated requests per second) for the end-to-end engine benches —
 names starting with ``BM_Engine`` or ``BM_Dispatch`` — in the embedded
 ``bench_perf_micro`` google-benchmark JSON. Exits 1 when any bench fell
-below ``(1 - threshold)`` times its baseline, 0 otherwise.
+below ``(1 - threshold)`` times its baseline, 0 otherwise. Benches at or
+above ``(1 + threshold)`` times baseline are flagged IMPROVED — the cue
+to refresh BENCH_baseline.json so the new level becomes the floor.
+
+With ``--trajectory PATH --commit SHA`` the current rates are also
+appended to a perf-trajectory ledger: a JSON list of
+``{"commit", "bench", "items_per_second"}`` entries, one per tracked
+bench per commit, so throughput history is machine-readable across the
+repo's life. Re-running for the same commit replaces that commit's
+entries instead of duplicating them.
 
 Missing inputs are not failures: a baseline that has not been committed
 yet, a skipped perf-micro run (google-benchmark absent), or a bench name
@@ -15,7 +24,8 @@ check informs — perf noise never gates a merge.
 
 Usage:
     tools/bench_regression_check.py --baseline BENCH_baseline.json \
-        --current BENCH_results.json [--threshold 0.15]
+        --current BENCH_results.json [--threshold 0.15] \
+        [--trajectory BENCH_trajectory.json --commit $(git rev-parse HEAD)]
 """
 
 import argparse
@@ -49,38 +59,118 @@ def engine_throughputs(path: Path):
     return rates, None
 
 
+def compare(base: dict, cur: dict, threshold: float):
+    """Pure comparison of two name->rate maps.
+
+    Returns ``(rows, notes)``. Each row is a dict with ``name``,
+    ``baseline``, ``current``, ``floor`` and a ``verdict`` of
+    ``REGRESSED`` (current < baseline * (1 - threshold)),
+    ``IMPROVED`` (current >= baseline * (1 + threshold)), or ``ok``.
+    Names present on only one side become notes, never verdicts.
+    """
+    rows = []
+    notes = []
+    for name in sorted(base):
+        if name not in cur:
+            notes.append(f"{name} only in baseline, skipping")
+            continue
+        floor = base[name] * (1.0 - threshold)
+        if cur[name] < floor:
+            verdict = "REGRESSED"
+        elif cur[name] >= base[name] * (1.0 + threshold):
+            verdict = "IMPROVED"
+        else:
+            verdict = "ok"
+        rows.append({"name": name, "baseline": base[name],
+                     "current": cur[name], "floor": floor,
+                     "verdict": verdict})
+    for name in sorted(set(cur) - set(base)):
+        notes.append(f"{name} has no baseline yet")
+    return rows, notes
+
+
+def update_trajectory(entries, commit: str, rates: dict):
+    """Merge this commit's rates into the trajectory ledger (pure).
+
+    ``entries`` is the existing list of ``{commit, bench,
+    items_per_second}`` dicts. Entries for @p commit are replaced (a
+    re-run supersedes, it never duplicates); other commits' history is
+    preserved in order, with this commit's benches appended sorted by
+    name so the file diffs cleanly.
+    """
+    kept = [e for e in entries
+            if isinstance(e, dict) and e.get("commit") != commit]
+    for name in sorted(rates):
+        kept.append({"commit": commit, "bench": name,
+                     "items_per_second": rates[name]})
+    return kept
+
+
+def append_trajectory(path: Path, commit: str, rates: dict):
+    """Load, merge, and write back the trajectory ledger at @p path."""
+    entries = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                entries = loaded
+        except (OSError, ValueError):
+            print(f"note: {path} unreadable, starting a fresh trajectory")
+    entries = update_trajectory(entries, commit, rates)
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+    return len(entries)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", default="BENCH_baseline.json", type=Path)
     ap.add_argument("--current", default="BENCH_results.json", type=Path)
     ap.add_argument("--threshold", default=0.15, type=float,
-                    help="allowed fractional drop vs baseline "
+                    help="fractional band vs baseline: below 1-t is a "
+                         "regression, at or above 1+t is an improvement "
                          "(default 0.15 = 15%%)")
+    ap.add_argument("--trajectory", type=Path, default=None,
+                    help="perf-trajectory JSON ledger to append the "
+                         "current rates to (requires --commit)")
+    ap.add_argument("--commit", default=None,
+                    help="commit SHA to key trajectory entries by")
     args = ap.parse_args()
+
+    cur, cur_note = engine_throughputs(args.current)
+
+    if args.trajectory is not None and cur is not None:
+        if args.commit:
+            n = append_trajectory(args.trajectory, args.commit, cur)
+            print(f"trajectory: {args.trajectory} now has {n} entries "
+                  f"({len(cur)} for {args.commit[:12]})")
+        else:
+            print("note: --trajectory given without --commit, not recording")
 
     base, note = engine_throughputs(args.baseline)
     if base is None:
         print(f"note: no baseline to compare against — {note}")
         return 0
-    cur, note = engine_throughputs(args.current)
     if cur is None:
-        print(f"note: no current results to check — {note}")
+        print(f"note: no current results to check — {cur_note}")
         return 0
 
+    rows, notes = compare(base, cur, args.threshold)
+    for n in notes:
+        print(f"note: {n}")
     regressions = []
-    for name in sorted(base):
-        if name not in cur:
-            print(f"note: {name} only in baseline, skipping")
-            continue
-        floor = base[name] * (1.0 - args.threshold)
-        verdict = "REGRESSED" if cur[name] < floor else "ok"
-        print(f"{verdict:>9}  {name}: {cur[name]:.3e} req/s "
-              f"(baseline {base[name]:.3e}, floor {floor:.3e})")
-        if cur[name] < floor:
-            regressions.append(name)
-    for name in sorted(set(cur) - set(base)):
-        print(f"note: {name} has no baseline yet")
+    improvements = []
+    for r in rows:
+        print(f"{r['verdict']:>9}  {r['name']}: {r['current']:.3e} req/s "
+              f"(baseline {r['baseline']:.3e}, floor {r['floor']:.3e})")
+        if r["verdict"] == "REGRESSED":
+            regressions.append(r["name"])
+        elif r["verdict"] == "IMPROVED":
+            improvements.append(r["name"])
 
+    if improvements:
+        print(f"IMPROVED: {len(improvements)} bench(es) gained more than "
+              f"{args.threshold:.0%}: {', '.join(improvements)} — consider "
+              f"refreshing BENCH_baseline.json to lock in the new floor")
     if regressions:
         print(f"FAIL: {len(regressions)} bench(es) regressed more than "
               f"{args.threshold:.0%}: {', '.join(regressions)}")
