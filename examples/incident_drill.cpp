@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Incident drills: run the curated preset + incident catalog and print
+ * each drill's QoS verdict — the paper's "does the control loop hold
+ * when the world misbehaves" question as an executable report.
+ *
+ * Every drill is deterministic, so this doubles as a QoS regression
+ * gate: the process exits non-zero when any assertion fails (the test
+ * suite runs the same catalog case by case; see tests/test_incidents.cc).
+ * One showcase drill — the two-tenant guardrail under a flash crowd —
+ * also prints its latency timeline, so the incident window and the
+ * recovery are visible, not just asserted.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "scenario/presets.h"
+
+using namespace stretch;
+
+namespace
+{
+
+void
+printTimeline(const scenario::DrillOutcome &o)
+{
+    const std::vector<sim::TimelineBucket> &timeline =
+        o.result.dispatch.timeline;
+    std::printf("  %-10s %8s %9s %9s\n", "t (ms)", "done", "p50(ms)",
+                "p99(ms)");
+    for (const sim::TimelineBucket &b : timeline) {
+        std::printf("  %-10.1f %8llu %9.3f %9.3f\n", b.startMs,
+                    static_cast<unsigned long long>(b.completions), b.p50Ms,
+                    b.p99Ms);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    int failures = 0;
+    std::printf("incident drill catalog (%zu drills)\n\n",
+                scenario::drillCatalog().size());
+
+    for (const scenario::Drill &d : scenario::drillCatalog()) {
+        scenario::DrillOutcome o = scenario::runDrill(d);
+        std::printf("%-32s %s  (horizon %.0f ms)\n", d.name.c_str(),
+                    o.pass ? "PASS" : "FAIL", o.horizonMs);
+        for (const scenario::AssertionResult &a : o.assertions)
+            std::printf("    %s  %s\n", a.pass ? "ok  " : "FAIL",
+                        a.detail.c_str());
+        failures += o.pass ? 0 : 1;
+
+        if (d.name == "guardrail/flash-crowd") {
+            std::printf("\n  timeline (%s):\n", d.description.c_str());
+            printTimeline(o);
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\n%d of %zu drills failed\n", failures,
+                scenario::drillCatalog().size());
+    return failures == 0 ? 0 : 1;
+}

@@ -41,6 +41,16 @@ Cpi2Monitor::evaluateWindowNow()
     return evaluateTail(tail);
 }
 
+void
+Cpi2Monitor::retarget(double qos_target, double tail_percentile)
+{
+    STRETCH_ASSERT(qos_target > 0.0, "QoS target must be positive");
+    STRETCH_ASSERT(tail_percentile > 0.0 && tail_percentile <= 100.0,
+                   "tail percentile must be in (0, 100]");
+    cfg.qosTarget = qos_target;
+    cfg.tailPercentile = tail_percentile;
+}
+
 MonitorDecision
 Cpi2Monitor::evaluateTail(double tail)
 {

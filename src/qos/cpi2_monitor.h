@@ -112,6 +112,15 @@ class Cpi2Monitor
      */
     MonitorDecision evaluateTail(double tail_latency);
 
+    /**
+     * Re-aim the monitor at a new QoS target mid-run (an SLO reshuffle):
+     * subsequent window evaluations judge against the new target and
+     * percentile. Accumulated window samples, the violation ladder, and
+     * the throttle state deliberately carry over — the reshuffle changes
+     * the goalpost, not the observed history.
+     */
+    void retarget(double qos_target, double tail_percentile);
+
     /** Most recent decision (initially Baseline, unthrottled). */
     const MonitorDecision &current() const { return last; }
 

@@ -252,6 +252,16 @@ struct ErasedPolicy
         if (cb.onQuantum)
             cb.onQuantum(boundaryMs);
     }
+    double
+    nextControlMs()
+    {
+        return cb.nextControl ? cb.nextControl() : inf;
+    }
+    void
+    onControl(double timeMs)
+    {
+        cb.onControl(timeMs);
+    }
     double quantumMs() const { return cb.quantumMs; }
     double rateHintPerMs() const { return cb.rateHintPerMs; }
 };
@@ -270,6 +280,10 @@ EventEngine::run(std::uint64_t requests, const Callbacks &cb)
     STRETCH_ASSERT(!(cb.nextArrival && cb.nextClass),
                    "nextArrival already carries the class tag; nextClass "
                    "must be empty");
+    STRETCH_ASSERT(static_cast<bool>(cb.nextControl) ==
+                       static_cast<bool>(cb.onControl),
+                   "the scheduled-event channel needs both nextControl and "
+                   "onControl, or neither");
     run(requests, ErasedPolicy{cb});
 }
 

@@ -169,6 +169,22 @@ class EventEngine
             onShed;
         /** Invoked at every elapsed multiple of quantumMs (mode control). */
         std::function<void(double boundaryMs)> onQuantum;
+        /**
+         * Timestamp (ms) of the next scheduled control event, or
+         * +infinity when none is pending — the engine's scheduled-event
+         * channel (mid-run incidents, planned reconfigurations). Paired
+         * with onControl: set both or neither. An always-infinite source
+         * is bit-identical to leaving the channel empty.
+         */
+        std::function<double()> nextControl;
+        /**
+         * Fire the scheduled control event at exactly @p timeMs. Runs in
+         * simulated-time order with completions and quantum boundaries
+         * (completions first on ties, control before the quantum boundary
+         * it coincides with). MUST advance nextControl past @p timeMs, or
+         * the drain loop cannot make progress.
+         */
+        std::function<void(double timeMs)> onControl;
         /** Control-quantum length; 0 disables onQuantum entirely. */
         double quantumMs = 0.0;
         /**
@@ -207,6 +223,8 @@ class EventEngine
      *   void onShed(std::uint64_t index, double now, double demand,
      *               std::uint32_t cls);
      *   void onQuantum(double boundaryMs);
+     *   double nextControlMs();                  // +inf = channel empty
+     *   void onControl(double timeMs);           // must advance the above
      *   double quantumMs() const;                // 0 disables onQuantum
      *   double rateHintPerMs() const;            // 0 = unknown
      *
@@ -470,7 +488,8 @@ class EventEngine
     /** Reset server/event/boundary state for a fresh run. */
     void beginRun(double quantum_ms, double rate_hint_per_ms);
 
-    /** Deliver completions and quantum boundaries with time <= t. */
+    /** Deliver completions, scheduled control events, and quantum
+     *  boundaries with time <= t, in simulated-time order. */
     template <class Policy>
     void
     drainUntil(double t, double quantum, Policy &p)
@@ -479,9 +498,10 @@ class EventEngine
         for (;;) {
             const double tc = peekPendingTimeMs();
             const double tq = quantum > 0.0 ? nextBoundary : inf;
+            const double tx = p.nextControlMs();
             // Completions first on ties: a request finishing exactly on a
             // boundary belongs to the window the boundary closes.
-            if (tc <= tq && tc <= t) {
+            if (tc <= tq && tc <= tx && tc <= t) {
                 const Slot c = popPending();
                 Completion done;
                 done.index = arena.index[c];
@@ -494,7 +514,16 @@ class EventEngine
                 arena.release(c);
                 continue;
             }
-            if (tq < tc && tq <= t) {
+            // Control before the quantum boundary it coincides with: an
+            // incident taking effect exactly on a boundary is visible to
+            // that boundary's control decision. Each onControl call fires
+            // one event and must advance nextControlMs past tx; the loop
+            // re-enters for further events at the same timestamp.
+            if (tx < tc && tx <= tq && tx <= t) {
+                p.onControl(tx);
+                continue;
+            }
+            if (tq < tc && tq < tx && tq <= t) {
                 p.onQuantum(tq);
                 nextBoundary += quantum;
                 continue;
@@ -573,6 +602,18 @@ struct NoopQuantum
 {
     void operator()(double) const {}
 };
+struct NoopControlNext
+{
+    double
+    operator()() const
+    {
+        return std::numeric_limits<double>::infinity();
+    }
+};
+struct NoopControlFire
+{
+    void operator()(double) const {}
+};
 /// @}
 
 /**
@@ -583,7 +624,9 @@ struct NoopQuantum
  * `makePolicy` — the member order is an implementation detail.
  */
 template <class ArrivalFn, class DemandFn, class PlaceFn, class FinishFn,
-          class CompleteFn, class ShedFn, class QuantumFn>
+          class CompleteFn, class ShedFn, class QuantumFn,
+          class ControlNextFn = NoopControlNext,
+          class ControlFireFn = NoopControlFire>
 struct EnginePolicy
 {
     ArrivalFn arrivalFn;
@@ -595,6 +638,8 @@ struct EnginePolicy
     QuantumFn quantumFn;
     double quantum = 0.0;
     double rateHint = 0.0;
+    ControlNextFn controlNextFn{};
+    ControlFireFn controlFireFn{};
 
     EventEngine::Arrival nextArrival() { return arrivalFn(); }
     double nextDemand(std::uint32_t cls) { return demandFn(cls); }
@@ -615,6 +660,8 @@ struct EnginePolicy
         shedFn(index, now, demand, cls);
     }
     void onQuantum(double boundaryMs) { quantumFn(boundaryMs); }
+    double nextControlMs() { return controlNextFn(); }
+    void onControl(double timeMs) { controlFireFn(timeMs); }
     double quantumMs() const { return quantum; }
     double rateHintPerMs() const { return rateHint; }
 };
@@ -632,20 +679,31 @@ struct EnginePolicy
  *        no-ops that vanish at compile time.
  * @param quantum_ms control-quantum length (0 disables `quantum`).
  * @param rate_hint_per_ms calendar-queue sizing hint (0 = unknown).
+ * @param control_next / control_fire optional scheduled-event channel
+ *        (next pending control timestamp and the action firing it; see
+ *        `Callbacks::nextControl`/`onControl`). The default source is
+ *        always +infinity, which is bit-identical to no channel at all.
  */
 template <class ArrivalFn, class DemandFn, class PlaceFn, class FinishFn,
           class CompleteFn = NoopComplete, class ShedFn = NoopShed,
-          class QuantumFn = NoopQuantum>
+          class QuantumFn = NoopQuantum,
+          class ControlNextFn = NoopControlNext,
+          class ControlFireFn = NoopControlFire>
 EnginePolicy<ArrivalFn, DemandFn, PlaceFn, FinishFn, CompleteFn, ShedFn,
-             QuantumFn>
+             QuantumFn, ControlNextFn, ControlFireFn>
 makePolicy(ArrivalFn arrival, DemandFn demand, PlaceFn place, FinishFn finish,
            CompleteFn complete = CompleteFn{}, ShedFn shed = ShedFn{},
            QuantumFn quantum = QuantumFn{}, double quantum_ms = 0.0,
-           double rate_hint_per_ms = 0.0)
+           double rate_hint_per_ms = 0.0,
+           ControlNextFn control_next = ControlNextFn{},
+           ControlFireFn control_fire = ControlFireFn{})
 {
-    return {std::move(arrival), std::move(demand),  std::move(place),
-            std::move(finish),  std::move(complete), std::move(shed),
-            std::move(quantum), quantum_ms,          rate_hint_per_ms};
+    return {std::move(arrival),      std::move(demand),
+            std::move(place),        std::move(finish),
+            std::move(complete),     std::move(shed),
+            std::move(quantum),      quantum_ms,
+            rate_hint_per_ms,        std::move(control_next),
+            std::move(control_fire)};
 }
 
 } // namespace stretch::queueing

@@ -263,6 +263,13 @@ ScenarioBuilder::perClassArrivals(bool on)
 }
 
 ScenarioBuilder &
+ScenarioBuilder::incident(Incident incident)
+{
+    draft.incidents.push_back(std::move(incident));
+    return *this;
+}
+
+ScenarioBuilder &
 ScenarioBuilder::placement(sim::PlacementPolicy policy)
 {
     draft.placement = policy;
@@ -552,6 +559,15 @@ ScenarioBuilder::tryBuild() const
     for (const workloads::ServiceClass &c : pendingClasses)
         built.classes.add(c);
     built.perClassArrivals = perClassOverride.value_or(custom_traffic);
+
+    // --- Incidents ------------------------------------------------------
+    // Validated against the assembled scenario (topology and classes),
+    // so this runs only once everything else checked out.
+    for (std::string &e : incidentErrors(built))
+        errors.push_back(std::move(e));
+    if (!errors.empty())
+        return result;
+
     result.scenario = std::move(built);
     return result;
 }
@@ -566,8 +582,13 @@ ScenarioBuilder::expect() const
     return std::move(*result.scenario);
 }
 
+namespace
+{
+
+/** The incident-free part of lowering (see `lower` for the incident
+ *  compile, which needs the resolved QoS target from this). */
 sim::FleetConfig
-lower(const Scenario &s)
+lowerQuiet(const Scenario &s)
 {
     // Patches may have mutated a built scenario; re-assert the invariants
     // the lowering depends on (full validation lives in the builder).
@@ -644,6 +665,24 @@ lower(const Scenario &s)
     return fleet;
 }
 
+} // namespace
+
+sim::FleetConfig
+lower(const Scenario &s)
+{
+    sim::FleetConfig fleet = lowerQuiet(s);
+    if (!s.incidents.empty()) {
+        // A retry storm's auto-derived lateness threshold must see the
+        // *resolved* QoS target (qosTargetFactor scenarios resolve it
+        // against the calibration probe), so compile against a copy
+        // carrying the resolved monitor config.
+        Scenario resolved = s;
+        resolved.control.monitor = fleet.modeControl.monitor;
+        fleet.incidents = compileIncidents(resolved);
+    }
+    return fleet;
+}
+
 sim::FleetResult
 run(const Scenario &s)
 {
@@ -657,9 +696,22 @@ Sweep::over(std::string axis, std::vector<Point> points)
 {
     STRETCH_ASSERT(!points.empty(), "sweep axis '", axis,
                    "' has no points");
-    for (const Point &p : points)
-        STRETCH_ASSERT(p.apply, "sweep axis '", axis, "' point '", p.label,
-                       "' has no patch");
+    // Label collisions would expand to variants whose "axis=point"
+    // labels collide — every table, plot, or cache keyed on the label
+    // would silently merge distinct runs. Reject them here, where the
+    // offending axis is still in hand.
+    for (const Axis &existing : axes)
+        STRETCH_ASSERT(existing.name != axis, "duplicate sweep axis '",
+                       axis, "'");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        STRETCH_ASSERT(points[i].apply, "sweep axis '", axis, "' point '",
+                       points[i].label, "' has no patch");
+        for (std::size_t j = 0; j < i; ++j)
+            STRETCH_ASSERT(points[j].label != points[i].label,
+                           "sweep axis '", axis,
+                           "' has duplicate point label '",
+                           points[i].label, "'");
+    }
     axes.push_back({std::move(axis), std::move(points)});
     return *this;
 }

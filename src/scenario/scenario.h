@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/incidents.h"
 #include "sim/fleet.h"
 
 namespace stretch::scenario
@@ -105,6 +106,14 @@ struct Scenario
     /** QoS target as a multiple of the calibration probe's p99 sojourn
      *  (0 = use `control.monitor.qosTarget` as an absolute value). */
     double qosTargetFactor = 0.0;
+    /// @}
+
+    /// @name Incidents.
+    /// @{
+    /** Typed mid-run faults, compiled by `lower` to the dispatcher's
+     *  scheduled-action list (see scenario/incidents.h). Empty = a
+     *  quiet run, bit-identical to one before the incident layer. */
+    std::vector<Incident> incidents;
     /// @}
 
     /// @name Reporting.
@@ -206,6 +215,13 @@ class ScenarioBuilder
     ScenarioBuilder &perClassArrivals(bool on = true);
     /// @}
 
+    /// @name Incidents.
+    /// @{
+    /** Inject one typed mid-run incident (validated at build against
+     *  the topology and classes; see scenario/incidents.h). */
+    ScenarioBuilder &incident(Incident incident);
+    /// @}
+
     /// @name Control.
     /// @{
     ScenarioBuilder &placement(sim::PlacementPolicy policy);
@@ -299,7 +315,10 @@ class Sweep
 
     explicit Sweep(Scenario base);
 
-    /** Add an axis (at least one point). Returns *this for chaining. */
+    /** Add an axis (at least one point). Fatal on a duplicate axis name
+     *  or duplicate point labels within the axis — either would expand
+     *  to colliding variant labels, silently corrupting any table or
+     *  cache keyed on them. Returns *this for chaining. */
     Sweep &over(std::string axis, std::vector<Point> points);
 
     /** One expanded variant: its coordinates and patched scenario. */

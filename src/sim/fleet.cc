@@ -237,6 +237,59 @@ dispatchRequests(const DispatchConfig &cfg)
     STRETCH_ASSERT(!servingIdx.empty(), "no core in the fleet can serve "
                                         "requests");
 
+    // Scheduled incidents, sorted by application time (stable: actions
+    // sharing a timestamp apply in list order). Validated up front so a
+    // bad incident fails loudly before the run starts.
+    std::vector<IncidentAction> actions = cfg.incidents;
+    std::stable_sort(actions.begin(), actions.end(),
+                     [](const IncidentAction &a, const IncidentAction &b) {
+                         return a.atMs < b.atMs;
+                     });
+    for (const IncidentAction &a : actions) {
+        STRETCH_ASSERT(a.atMs >= 0.0, "incident scheduled before the run");
+        switch (a.kind) {
+        case IncidentAction::Kind::ArrivalScale:
+            STRETCH_ASSERT(a.value > 0.0, "arrival scale must be positive");
+            break;
+        case IncidentAction::Kind::CoreRateScale:
+            STRETCH_ASSERT(a.core < n, "incident targets a core outside "
+                                       "the fleet");
+            STRETCH_ASSERT(a.value > 0.0,
+                           "core capacity scale must be positive (use "
+                           "CoreFail to remove a core)");
+            break;
+        case IncidentAction::Kind::CoreFail:
+            STRETCH_ASSERT(a.core < n, "incident targets a core outside "
+                                       "the fleet");
+            break;
+        case IncidentAction::Kind::ClassSloRetarget:
+            STRETCH_ASSERT(a.classId < cfg.classes.size(),
+                           "SLO retarget names an unregistered class");
+            STRETCH_ASSERT(a.value > 0.0, "SLO target must be positive");
+            break;
+        case IncidentAction::Kind::RetryStormStart:
+            STRETCH_ASSERT(a.value >= 0.0, "storm gain must be >= 0");
+            STRETCH_ASSERT(a.value2 > 0.0,
+                           "storm lateness threshold must be positive");
+            break;
+        case IncidentAction::Kind::RetryStormTick:
+        case IncidentAction::Kind::RetryStormEnd:
+            break;
+        }
+    }
+
+    // Live class registry: SLO-reshuffle incidents retarget it mid-run,
+    // so every SLO consumer — attainment accounting, router admission
+    // budgets, final reporting — reads through this copy. Without a
+    // reshuffle it stays identical to the config's registry.
+    workloads::ServiceClassRegistry classesLive = cfg.classes;
+
+    // Which cores may take new work: starts as the serving set and only
+    // shrinks (CoreFail). Placed work on a failed core still drains.
+    std::vector<char> canServe(n, 0);
+    for (std::size_t c : servingIdx)
+        canServe[c] = 1;
+
     // Mode state: serving cores start in the static mode (Baseline when a
     // dynamic policy takes over from there).
     const StretchMode initialMode =
@@ -281,12 +334,12 @@ dispatchRequests(const DispatchConfig &cfg)
     std::optional<queueing::ArrivalProcess> arrivals;
     std::optional<queueing::ClassArrivalSuperposition> classArrivals;
     if (perClassArr) {
-        std::vector<double> shares = cfg.classes.arrivalShares();
+        std::vector<double> shares = classesLive.arrivalShares();
         std::vector<queueing::ClassArrivalSuperposition::Stream> streams;
         streams.reserve(shares.size());
         for (std::size_t k = 0; k < shares.size(); ++k) {
             const workloads::ClassTraffic &t =
-                cfg.classes.at(static_cast<workloads::ClassId>(k)).traffic;
+                classesLive.at(static_cast<workloads::ClassId>(k)).traffic;
             double rate = shares[k] * out.offeredRatePerMs;
             Rng rng(cfg.seed, mixSeed(arrivalStream, k));
             auto process = [&]() -> queueing::ArrivalProcess {
@@ -327,7 +380,7 @@ dispatchRequests(const DispatchConfig &cfg)
     std::vector<std::unique_ptr<CoreControl>> controls(n);
     if (dynamic) {
         for (std::size_t c : servingIdx)
-            controls[c] = std::make_unique<CoreControl>(mc, cfg.classes);
+            controls[c] = std::make_unique<CoreControl>(mc, classesLive);
     }
     std::vector<double> segStartMs(n, 0.0);
 
@@ -339,19 +392,35 @@ dispatchRequests(const DispatchConfig &cfg)
         for (std::size_t c = 0; c < n; ++c)
             baseline[c] = cfg.rates[c].baseline;
         router = std::make_unique<ClassRouter>(
-            cfg.classes, baseline, cfg.classRouting,
+            classesLive, baseline, cfg.classRouting,
             cfg.diurnalTrace ? &*cfg.diurnalTrace : nullptr, cfg.msPerHour,
             perClassArr);
     }
+
+    // Incident state. Arrival gaps are divided by `arrivalScale` (the
+    // flash-crowd base times the retry-storm multiplier) at consumption,
+    // never at the draw — raw RNG draws are identical across scales, so
+    // a neutral scale of exactly 1 is bit-identical to no incident. Core
+    // capacity is multiplied by `coreScale` the same way.
+    std::vector<double> coreScale(n, 1.0);
+    double baseArrivalScale = 1.0; // flash crowds (last writer wins)
+    double stormScale = 1.0;       // retry-storm feedback multiplier
+    double arrivalScale = 1.0;     // baseArrivalScale * stormScale
+    bool stormOn = false;
+    double stormGain = 0.0;   // amplification per unit lateness fraction
+    double stormLateMs = 0.0; // completion counts as late above this
+    std::uint64_t stormDone = 0; // completions since the last storm tick
+    std::uint64_t stormLate = 0; // late completions since the last tick
 
     // Co-runner throttle state (the CPI² corrective action): engaged and
     // lifted by the SlackDriven monitor ladder at quantum boundaries.
     std::vector<char> throttled(n, 0);
     std::vector<double> throttleStartMs(n, 0.0);
     auto effectiveRate = [&](std::size_t c) {
-        if (throttled[c] && cfg.rates[c].throttledLs > 0.0)
-            return cfg.rates[c].throttledLs;
-        return cfg.rates[c].rate(mode[c]);
+        double r = (throttled[c] && cfg.rates[c].throttledLs > 0.0)
+                       ? cfg.rates[c].throttledLs
+                       : cfg.rates[c].rate(mode[c]);
+        return r * coreScale[c];
     };
 
     // Latency accounting: streaming histograms by default (O(1) record,
@@ -389,7 +458,7 @@ dispatchRequests(const DispatchConfig &cfg)
     std::vector<std::uint64_t> classGood(numClasses, 0);
     std::vector<std::uint64_t> classShed(numClasses, 0);
 
-    queueing::EventEngine engine(n);
+    queueing::EventEngine engine(n, cfg.queueKind);
     stats::TailRecorder latencies(exact);
     latencies.reserve(cfg.requests);
     std::size_t rr_next = 0; // round-robin cursor over serving cores
@@ -411,22 +480,29 @@ dispatchRequests(const DispatchConfig &cfg)
     std::size_t demandNext = demandBlock.size();
 
     auto arrivalFn = [&]() -> queueing::EventEngine::Arrival {
+        queueing::EventEngine::Arrival a;
         if (perClassArr) {
             // Superposed per-class streams fix the gap and tag jointly.
-            return classArrivals->next();
+            a = classArrivals->next();
+        } else {
+            if (gapNext == gapBlock.size()) {
+                arrivals->fill(arrivalsRng, gapBlock.data(),
+                               gapBlock.size());
+                gapNext = 0;
+            }
+            a.gapMs = gapBlock[gapNext++];
+            a.classId = classesOn ? classesLive.sample(classRng) : 0;
         }
-        queueing::EventEngine::Arrival a;
-        if (gapNext == gapBlock.size()) {
-            arrivals->fill(arrivalsRng, gapBlock.data(), gapBlock.size());
-            gapNext = 0;
-        }
-        a.gapMs = gapBlock[gapNext++];
-        a.classId = classesOn ? cfg.classes.sample(classRng) : 0;
+        // Incident traffic scaling happens at consumption, not at the
+        // draw, and only off the neutral scale — so the realized gap
+        // stream is bit-identical whenever no incident is in force.
+        if (arrivalScale != 1.0)
+            a.gapMs /= arrivalScale;
         return a;
     };
     auto demandFn = [&](std::uint32_t cls) {
         if (classesOn)
-            return cfg.classes.drawDemand(cls, demandsRng);
+            return classesLive.drawDemand(cls, demandsRng);
         if (demandNext == demandBlock.size()) {
             if (cfg.demandLogSigma > 0.0) {
                 demandsRng.fillLognormal(demandMu, cfg.demandLogSigma,
@@ -444,7 +520,7 @@ dispatchRequests(const DispatchConfig &cfg)
                        std::uint32_t cls) -> std::size_t {
         switch (cfg.policy) {
         case PlacementPolicy::RoundRobin: {
-            while (cfg.rates[rr_next % n].baseline <= 0.0)
+            while (!canServe[rr_next % n])
                 ++rr_next;
             std::size_t target = rr_next % n;
             ++rr_next;
@@ -494,10 +570,29 @@ dispatchRequests(const DispatchConfig &cfg)
             }
             return target;
         }
-        case PlacementPolicy::ClassAware:
+        case PlacementPolicy::ClassAware: {
             // Hot-class pinning, hour-aware reservation, and per-class
             // admission; may return EventEngine::shed.
-            return router->route(cls, now, demand, engine, rate);
+            std::size_t target = router->route(cls, now, demand, engine,
+                                               rate);
+            if (target == queueing::EventEngine::shed || canServe[target])
+                return target;
+            // The router's fixed big/little partition can still name a
+            // failed core when every candidate in the class's tier is
+            // gone; fall back to the live core with the best predicted
+            // sojourn (only reachable under a CoreFail incident).
+            std::size_t best = n;
+            double bestPred = std::numeric_limits<double>::infinity();
+            for (std::size_t c : servingIdx) {
+                double predicted =
+                    engine.backlogMs(c, now) + demand / rate[c];
+                if (predicted < bestPred) {
+                    bestPred = predicted;
+                    best = c;
+                }
+            }
+            return best;
+        }
         }
         return n; // unreachable; engine asserts
     };
@@ -512,9 +607,17 @@ dispatchRequests(const DispatchConfig &cfg)
     };
     auto completeFn = [&](const queueing::Completion &c) {
         latencies.record(c.latencyMs());
+        if (stormOn) {
+            // Retry-storm feedback window: count completions and how
+            // many of them came back late; the next tick converts the
+            // lateness fraction into the storm's arrival multiplier.
+            ++stormDone;
+            if (c.latencyMs() > stormLateMs)
+                ++stormLate;
+        }
         if (classesOn) {
             classLatencies[c.classId].record(c.latencyMs());
-            if (c.latencyMs() <= cfg.classes.at(c.classId).sloMs)
+            if (c.latencyMs() <= classesLive.at(c.classId).sloMs)
                 ++classGood[c.classId];
         }
         if (timelineOn) {
@@ -639,9 +742,95 @@ dispatchRequests(const DispatchConfig &cfg)
         }
     };
 
+    // Scheduled-incident channel: the engine interleaves these with
+    // completions and quantum boundaries at exact simulated timestamps.
+    // Each fire applies ONE action and advances the cursor, so several
+    // actions sharing a timestamp apply in list order.
+    std::size_t actionNext = 0;
+    auto controlNextFn = [&]() -> double {
+        return actionNext < actions.size()
+                   ? actions[actionNext].atMs
+                   : std::numeric_limits<double>::infinity();
+    };
+    auto controlFireFn = [&](double t) {
+        const IncidentAction &a = actions[actionNext++];
+        switch (a.kind) {
+        case IncidentAction::Kind::ArrivalScale:
+            baseArrivalScale = a.value;
+            break;
+        case IncidentAction::Kind::CoreRateScale:
+            coreScale[a.core] = a.value;
+            if (canServe[a.core])
+                rate[a.core] = effectiveRate(a.core);
+            break;
+        case IncidentAction::Kind::CoreFail: {
+            if (!canServe[a.core])
+                break; // double failure is a no-op
+            canServe[a.core] = 0;
+            servingIdx.erase(std::remove(servingIdx.begin(),
+                                         servingIdx.end(), a.core),
+                             servingIdx.end());
+            STRETCH_ASSERT(!servingIdx.empty(),
+                           "every serving core has failed");
+            // Close the dead core's mode/throttle timeline at the
+            // failure instant; it takes no further part in the run.
+            CoreModeStats &ms = out.modeStats[a.core];
+            ms.residencyMs[modeIndex(mode[a.core])] +=
+                t - segStartMs[a.core];
+            segStartMs[a.core] = t;
+            ms.finalMode = mode[a.core];
+            if (throttled[a.core]) {
+                ms.throttleMs += t - throttleStartMs[a.core];
+                throttled[a.core] = 0;
+            }
+            break;
+        }
+        case IncidentAction::Kind::ClassSloRetarget: {
+            classesLive.retargetSlo(a.classId, a.value, a.value2);
+            // Monitors copied the SLO at construction; re-aim them so
+            // the mode ladder judges against the new target too.
+            const workloads::ServiceClass &cls = classesLive.at(a.classId);
+            for (std::size_t c : servingIdx) {
+                if (controls[c] && a.classId < controls[c]->classMonitors
+                                                   .size()) {
+                    controls[c]->classMonitors[a.classId].retarget(
+                        cls.sloMs, cls.tailPercentile);
+                }
+            }
+            break;
+        }
+        case IncidentAction::Kind::RetryStormStart:
+            stormOn = true;
+            stormGain = a.value;
+            stormLateMs = a.value2;
+            stormDone = 0;
+            stormLate = 0;
+            stormScale = 1.0;
+            break;
+        case IncidentAction::Kind::RetryStormTick: {
+            if (!stormOn)
+                break;
+            double lateness =
+                stormDone > 0 ? static_cast<double>(stormLate) /
+                                    static_cast<double>(stormDone)
+                              : 0.0;
+            stormScale = 1.0 + stormGain * lateness;
+            stormDone = 0;
+            stormLate = 0;
+            break;
+        }
+        case IncidentAction::Kind::RetryStormEnd:
+            stormOn = false;
+            stormScale = 1.0;
+            break;
+        }
+        arrivalScale = baseArrivalScale * stormScale;
+    };
+
     auto policy = queueing::makePolicy(
         arrivalFn, demandFn, placeFn, finishFn, completeFn, shedFn,
-        quantumFn, dynamic ? mc.quantumMs : 0.0, out.offeredRatePerMs);
+        quantumFn, dynamic ? mc.quantumMs : 0.0, out.offeredRatePerMs,
+        controlNextFn, controlFireFn);
     engine.run(cfg.requests, policy);
 
     // Close out the mode and throttle timelines at the makespan.
@@ -704,7 +893,7 @@ dispatchRequests(const DispatchConfig &cfg)
         out.perClass.resize(numClasses);
         for (std::size_t k = 0; k < numClasses; ++k) {
             const workloads::ServiceClass &sc =
-                cfg.classes.at(static_cast<workloads::ClassId>(k));
+                classesLive.at(static_cast<workloads::ClassId>(k));
             ClassOutcome &co = out.perClass[k];
             co.name = sc.name;
             co.completed = classLatencies[k].count();
@@ -916,6 +1105,8 @@ runFleet(const FleetConfig &cfg)
     dispatch.perClassArrivals = cfg.perClassArrivals;
     dispatch.classRouting = cfg.classRouting;
     dispatch.exactTailQuantiles = cfg.exactTailQuantiles;
+    dispatch.incidents = cfg.incidents;
+    dispatch.queueKind = cfg.queueKind;
     dispatch.control = cfg.modeControl;
     fleet.dispatch = dispatchRequests(dispatch);
 

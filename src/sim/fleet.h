@@ -220,6 +220,54 @@ struct CoreModeStats
     /// @}
 };
 
+/**
+ * One scheduled mid-run control action on the dispatcher, applied at an
+ * exact simulated timestamp through the engine's scheduled-event channel.
+ * This is the compiled, plain-data form of the scenario layer's typed
+ * incidents (`scenario::Incident`); same-timestamp actions apply in list
+ * order, and an empty action list is bit-identical to pre-incident
+ * dispatch.
+ */
+struct IncidentAction
+{
+    enum class Kind
+    {
+        /** Set the fleet-wide arrival-rate multiplier to `value` (gaps
+         *  are divided by it; 1 restores nominal traffic). */
+        ArrivalScale,
+        /** Set core `core`'s capacity multiplier to `value` (applies on
+         *  top of the mode/throttle rate; 1 restores full capacity). */
+        CoreRateScale,
+        /** Permanently remove core `core` from the serving set: placed
+         *  work drains, nothing new is routed there. */
+        CoreFail,
+        /** Retarget class `classId`'s SLO to `value` ms (and, when
+         *  `value2` > 0, the percentile it binds at): admission budgets,
+         *  per-class monitors, and subsequent attainment accounting all
+         *  follow the new target. `ClassOutcome::sloTargetMs` reports
+         *  the target in force at the end of the run. */
+        ClassSloRetarget,
+        /** Begin a retry storm: from here until RetryStormEnd the
+         *  arrival-rate multiplier couples to observed latency. `value`
+         *  is the amplification gain, `value2` the lateness threshold in
+         *  ms (a completion counts as "late" above it). */
+        RetryStormStart,
+        /** Re-evaluate the storm: the multiplier becomes
+         *  1 + gain * (late completions / completions) over the window
+         *  since the previous tick. */
+        RetryStormTick,
+        /** End the storm (the arrival multiplier returns to base). */
+        RetryStormEnd,
+    };
+
+    Kind kind = Kind::ArrivalScale;
+    double atMs = 0.0;       ///< exact simulated application time
+    double value = 1.0;      ///< scale / new SLO ms / storm gain (by kind)
+    double value2 = 0.0;     ///< storm lateness threshold / SLO percentile
+    std::size_t core = 0;    ///< target core (core-scoped kinds only)
+    std::uint32_t classId = 0; ///< target class (ClassSloRetarget only)
+};
+
 /** Full description of a request-dispatch experiment over fixed cores. */
 struct DispatchConfig
 {
@@ -316,6 +364,21 @@ struct DispatchConfig
      * compare summaries across runs.
      */
     bool exactTailQuantiles = false;
+
+    /**
+     * Scheduled mid-run incidents, applied at exact simulated timestamps
+     * through the engine's scheduled-event channel (sorted by time
+     * internally; list order breaks ties). The incident machinery never
+     * consumes RNG draws and scales consumed values instead of changing
+     * what is drawn, so an empty list — or a list of neutral scale-1
+     * actions — dispatches bit-identically to a config without any.
+     */
+    std::vector<IncidentAction> incidents;
+
+    /** Event-queue backing for the dispatch engine. Both kinds deliver
+     *  the exact same event order (see queueing::EventQueueKind); the
+     *  knob exists for equivalence tests. */
+    queueing::EventQueueKind queueKind = queueing::EventQueueKind::Calendar;
 
     ModeControlConfig control;
 };
@@ -493,6 +556,14 @@ struct FleetConfig
     /** Exact sort-based latency quantiles instead of the streaming
      *  histogram default (see DispatchConfig::exactTailQuantiles). */
     bool exactTailQuantiles = false;
+
+    /** Scheduled mid-run incidents handed to the dispatcher (see
+     *  DispatchConfig::incidents). */
+    std::vector<IncidentAction> incidents;
+
+    /** Event-queue backing for the dispatch engine (see
+     *  DispatchConfig::queueKind). */
+    queueing::EventQueueKind queueKind = queueing::EventQueueKind::Calendar;
 
     /**
      * Per-core dynamic Stretch mode control. Any non-Static policy (or a

@@ -64,6 +64,19 @@ ServiceClassRegistry::classAt(ClassId id)
     return classes[id];
 }
 
+void
+ServiceClassRegistry::retargetSlo(ClassId id, double slo_ms,
+                                  double tail_percentile)
+{
+    STRETCH_ASSERT(slo_ms > 0.0, "SLO target must be positive");
+    STRETCH_ASSERT(tail_percentile >= 0.0 && tail_percentile <= 100.0,
+                   "tail percentile must be 0 (keep) or in (0, 100]");
+    ServiceClass &c = classAt(id);
+    c.sloMs = slo_ms;
+    if (tail_percentile > 0.0)
+        c.tailPercentile = tail_percentile;
+}
+
 ClassId
 ServiceClassRegistry::byName(const std::string &name) const
 {

@@ -164,6 +164,17 @@ class ServiceClassRegistry
     /** Id of the named class (fatal on unknown name). */
     ClassId byName(const std::string &name) const;
 
+    /**
+     * Reshuffle one class's SLO mid-run: set a new sojourn-time target
+     * (and optionally the percentile it binds at; 0 keeps the current
+     * one). Fatal on a non-positive target or an out-of-range
+     * percentile. Consumers that read the SLO at decision time — router
+     * admission, attainment accounting — pick the new target up
+     * immediately; monitors that copied it at construction must be
+     * retargeted by the caller (see `Cpi2Monitor::retarget`).
+     */
+    void retargetSlo(ClassId id, double slo_ms, double tail_percentile = 0.0);
+
     /** Number of registered classes. */
     std::size_t size() const { return classes.size(); }
 

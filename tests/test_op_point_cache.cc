@@ -258,6 +258,86 @@ TEST(OperatingPointCache, ConcurrentMissesOfOneKeySimulateOnce)
     EXPECT_EQ(cache.hits(), 0u);
 }
 
+TEST(OperatingPointCache, ConcurrentMeasureAndSaveToKeepTheCacheCoherent)
+{
+    OperatingPointCache &cache = OperatingPointCache::instance();
+    cache.clear();
+
+    // Hammer: workers race repeat measurements of a small key pool
+    // (every key hit by every worker, so misses contend with hits)
+    // while a writer continuously snapshots the cache to disk. The
+    // cache must stay exact — hits + misses == calls — and every
+    // snapshot taken mid-churn must be a loadable, complete file.
+    const unsigned workers = 4;
+    const unsigned rounds = 8;
+    const unsigned keys = 6;
+    std::vector<RunConfig> pool;
+    for (unsigned k = 0; k < keys; ++k) {
+        RunConfig cfg = smallConfig();
+        cfg.seed = 1000 + k;
+        pool.push_back(cfg);
+    }
+
+    std::string path = ::testing::TempDir() + "op_point_cache_hammer.txt";
+    std::atomic<unsigned> started{0};
+    std::atomic<bool> done{false};
+    std::atomic<unsigned> saves{0};
+    std::thread writer([&] {
+        while (started.load() < workers)
+            std::this_thread::yield();
+        while (!done.load()) {
+            ASSERT_TRUE(cache.saveTo(path));
+            ++saves;
+        }
+        ASSERT_TRUE(cache.saveTo(path)); // one full-cache snapshot
+        ++saves;
+    });
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+            ++started;
+            while (started.load() < workers)
+                std::this_thread::yield();
+            for (unsigned r = 0; r < rounds; ++r) {
+                // Stagger the walk so threads collide on different keys.
+                for (unsigned k = 0; k < keys; ++k)
+                    cache.measure(pool[(w + r + k) % keys]);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    done.store(true);
+    writer.join();
+
+    // Exactness under contention: every call was a hit or a miss, every
+    // distinct key simulated exactly once.
+    EXPECT_EQ(cache.misses(), keys);
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              static_cast<std::uint64_t>(workers) * rounds * keys);
+    EXPECT_EQ(cache.size(), keys);
+    EXPECT_GE(saves.load(), 1u);
+
+    // The final snapshot round-trips the whole pool bit-identically.
+    std::vector<RunResult> measured;
+    for (const RunConfig &cfg : pool)
+        measured.push_back(cache.measure(cfg));
+    cache.clear();
+    CacheLoadOutcome loaded = cache.loadFrom(path);
+    EXPECT_EQ(loaded.status, CacheLoadOutcome::Status::Loaded);
+    EXPECT_EQ(loaded.added, keys);
+    for (unsigned k = 0; k < keys; ++k) {
+        const RunResult &reloaded = cache.measure(pool[k]);
+        EXPECT_EQ(reloaded.totalCycles, measured[k].totalCycles);
+        EXPECT_EQ(reloaded.uipc[0], measured[k].uipc[0]);
+        EXPECT_EQ(reloaded.uipc[1], measured[k].uipc[1]);
+    }
+    EXPECT_EQ(cache.misses(), 0u);
+    std::remove(path.c_str());
+}
+
 TEST(OperatingPointCache, ClearResetsEverything)
 {
     OperatingPointCache &cache = OperatingPointCache::instance();

@@ -340,6 +340,53 @@ TEST(ScenarioSweep, ExpandsTheCartesianProductWithLabels)
     EXPECT_DOUBLE_EQ(base.meanLoadFraction, 0.0);
 }
 
+TEST(ScenarioSweepDeath, DuplicateAxisNameIsFatal)
+{
+    // Two axes with one name would expand to colliding "axis=point"
+    // labels; over() rejects the collision at registration time.
+    Scenario base =
+        ScenarioBuilder().cores(1, smallConfig()).requests(0).expect();
+    Sweep sweep(base);
+    sweep.over("load", {{"70%", [](Scenario &s) {
+                             s.meanLoadFraction = 0.7;
+                         }}});
+    EXPECT_DEATH(sweep.over("load", {{"90%",
+                                      [](Scenario &s) {
+                                          s.meanLoadFraction = 0.9;
+                                      }}}),
+                 "duplicate sweep axis 'load'");
+}
+
+TEST(ScenarioSweepDeath, DuplicatePointLabelWithinAxisIsFatal)
+{
+    Scenario base =
+        ScenarioBuilder().cores(1, smallConfig()).requests(0).expect();
+    Sweep sweep(base);
+    EXPECT_DEATH(
+        sweep.over("load",
+                   {{"70%", [](Scenario &s) { s.meanLoadFraction = 0.7; }},
+                    {"70%", [](Scenario &s) { s.meanLoadFraction = 0.9; }}}),
+        "duplicate point label '70%'");
+}
+
+TEST(ScenarioSweep, SharedPointLabelAcrossAxesStaysUnambiguous)
+{
+    // The same label on *different* axes is legitimate — the axis name
+    // in each "axis=point" coordinate keeps variant labels unique.
+    Scenario base =
+        ScenarioBuilder().cores(1, smallConfig()).requests(0).expect();
+    Sweep sweep(base);
+    sweep.over("load", {{"default", [](Scenario &s) {
+                             s.meanLoadFraction = 0.7;
+                         }}})
+        .over("policy", {{"default", [](Scenario &s) {
+                              s.placement = sim::PlacementPolicy::QosAware;
+                          }}});
+    std::vector<Sweep::Variant> vars = sweep.variants();
+    ASSERT_EQ(vars.size(), 1u);
+    EXPECT_EQ(vars[0].label, "load=default, policy=default");
+}
+
 TEST(ScenarioSweep, RunsVariantsThroughTheSharedOperatingPointCache)
 {
     sim::OperatingPointCache &cache = sim::OperatingPointCache::instance();
