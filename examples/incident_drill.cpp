@@ -10,9 +10,20 @@
  * One showcase drill — the two-tenant guardrail under a flash crowd —
  * also prints its latency timeline, so the incident window and the
  * recovery are visible, not just asserted.
+ *
+ * With `--report-dir DIR` every drill additionally runs instrumented:
+ * a Chrome trace_event JSON (`<drill>.trace.json`, Perfetto-loadable)
+ * and a versioned run report (`<drill>.report.json`) land in DIR —
+ * this is what the CI observability job validates and uploads. The
+ * showcase drill is then re-run bare and compared field by field,
+ * proving tracing does not perturb the simulation (exit non-zero on
+ * any divergence).
  */
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
 #include <string>
 
 #include "scenario/presets.h"
@@ -36,17 +47,86 @@ printTimeline(const scenario::DrillOutcome &o)
     }
 }
 
+/** "guardrail/flash-crowd" -> "guardrail-flash-crowd" (one file per
+ *  drill inside the flat artifact directory). */
+std::string
+fileStem(const std::string &drill_name)
+{
+    std::string stem = drill_name;
+    for (char &c : stem) {
+        if (c == '/')
+            c = '-';
+    }
+    return stem;
+}
+
+/** Exact-equality comparison of the fields a perturbed simulation
+ *  could not reproduce; returns the number of divergent fields. */
+int
+compareResults(const sim::FleetResult &a, const sim::FleetResult &b)
+{
+    int bad = 0;
+    auto check = [&](const char *what, double va, double vb) {
+        if (va != vb) {
+            std::printf("  DIVERGED %s: %.17g vs %.17g\n", what, va, vb);
+            ++bad;
+        }
+    };
+    check("elapsedMs", a.dispatch.elapsedMs, b.dispatch.elapsedMs);
+    check("throughputRps", a.dispatch.throughputRps,
+          b.dispatch.throughputRps);
+    check("latency.count", static_cast<double>(a.dispatch.latencyMs.count),
+          static_cast<double>(b.dispatch.latencyMs.count));
+    check("latency.mean", a.dispatch.latencyMs.mean,
+          b.dispatch.latencyMs.mean);
+    check("latency.p99", a.dispatch.latencyMs.p99, b.dispatch.latencyMs.p99);
+    check("latency.max", a.dispatch.latencyMs.max, b.dispatch.latencyMs.max);
+    check("totalShed", static_cast<double>(a.dispatch.totalShed),
+          static_cast<double>(b.dispatch.totalShed));
+    check("modeTransitions",
+          static_cast<double>(a.dispatch.totalTransitions()),
+          static_cast<double>(b.dispatch.totalTransitions()));
+    check("throttleCoreMs", a.dispatch.totalThrottleMs(),
+          b.dispatch.totalThrottleMs());
+    check("effectiveBatchUipc", a.effectiveBatchUipc, b.effectiveBatchUipc);
+    return bad;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string reportDir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--report-dir") == 0 && i + 1 < argc) {
+            reportDir = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--report-dir DIR]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (!reportDir.empty())
+        std::filesystem::create_directories(reportDir);
+
     int failures = 0;
+    const std::string showcase = "guardrail/flash-crowd";
+    sim::FleetResult showcaseInstrumented;
+    bool haveShowcase = false;
+
     std::printf("incident drill catalog (%zu drills)\n\n",
                 scenario::drillCatalog().size());
 
     for (const scenario::Drill &d : scenario::drillCatalog()) {
-        scenario::DrillOutcome o = scenario::runDrill(d);
+        std::function<void(scenario::Scenario &)> tweak;
+        if (!reportDir.empty()) {
+            const std::string stem = reportDir + "/" + fileStem(d.name);
+            tweak = [stem](scenario::Scenario &s) {
+                s.reportPath = stem + ".report.json";
+                s.tracePath = stem + ".trace.json";
+            };
+        }
+        scenario::DrillOutcome o = scenario::runDrill(d, tweak);
         std::printf("%-32s %s  (horizon %.0f ms)\n", d.name.c_str(),
                     o.pass ? "PASS" : "FAIL", o.horizonMs);
         for (const scenario::AssertionResult &a : o.assertions)
@@ -54,11 +134,25 @@ main()
                         a.detail.c_str());
         failures += o.pass ? 0 : 1;
 
-        if (d.name == "guardrail/flash-crowd") {
+        if (d.name == showcase) {
+            showcaseInstrumented = o.result;
+            haveShowcase = !reportDir.empty();
             std::printf("\n  timeline (%s):\n", d.description.c_str());
             printTimeline(o);
             std::printf("\n");
         }
+    }
+
+    if (haveShowcase) {
+        // Tracing must only observe: the bare re-run of the showcase
+        // drill has to reproduce the instrumented run bit for bit.
+        std::printf("\nbit-identity check (%s, traced vs bare):\n",
+                    showcase.c_str());
+        scenario::DrillOutcome bare =
+            scenario::runDrill(scenario::drill(showcase));
+        int diverged = compareResults(showcaseInstrumented, bare.result);
+        std::printf("  %s\n", diverged == 0 ? "identical" : "DIVERGED");
+        failures += diverged == 0 ? 0 : 1;
     }
 
     std::printf("\n%d of %zu drills failed\n", failures,

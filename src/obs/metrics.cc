@@ -1,0 +1,82 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace stretch::obs
+{
+
+std::uint64_t &
+MetricRegistry::counter(const std::string &name)
+{
+    return counterMap[name];
+}
+
+double &
+MetricRegistry::gauge(const std::string &name)
+{
+    return gaugeMap[name];
+}
+
+stats::StreamingTail &
+MetricRegistry::tail(const std::string &name)
+{
+    return tailMap[name];
+}
+
+std::uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    auto it = counterMap.find(name);
+    return it == counterMap.end() ? 0 : it->second;
+}
+
+double
+MetricRegistry::gaugeValue(const std::string &name) const
+{
+    auto it = gaugeMap.find(name);
+    return it == gaugeMap.end() ? 0.0 : it->second;
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return counterMap.count(name) != 0 || gaugeMap.count(name) != 0 ||
+           tailMap.count(name) != 0;
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, v] : counterMap)
+        w.field(std::string_view(name), v);
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, v] : gaugeMap)
+        w.field(std::string_view(name), v);
+    w.endObject();
+    w.key("tails");
+    w.beginObject();
+    for (const auto &[name, t] : tailMap) {
+        w.key(name);
+        w.beginObject();
+        w.field("count", t.count());
+        if (t.count() > 0) {
+            w.field("mean", t.mean());
+            w.field("min", t.min());
+            w.field("max", t.max());
+            w.field("p50", t.percentile(50.0));
+            w.field("p95", t.percentile(95.0));
+            w.field("p99", t.percentile(99.0));
+            w.field("p999", t.percentile(99.9));
+        }
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace stretch::obs

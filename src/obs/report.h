@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structured run reports: one versioned JSON manifest per scenario run.
+ *
+ * A report captures everything needed to interpret (and re-run) one
+ * experiment: the scenario label plus a hash of its echoed
+ * configuration, the seed, the full `sim::FleetResult` outcome —
+ * latency summary, per-class outcomes, timeline buckets, mode/throttle
+ * totals — an optional `MetricRegistry` snapshot, and the verdicts of
+ * any QoS assertions. Failed assertions carry a trace window: the slice
+ * of the run's `EngineTracer` events around the violating buckets, so
+ * a red drill ships its own evidence.
+ *
+ * The schema is shared with `tools/bench_to_json.py` (field-name
+ * conventions, `schemaVersion`/`kind`/`generator` envelope) and
+ * documented in docs/OBSERVABILITY.md. This layer deliberately knows
+ * nothing about the scenario layer — scenario/presets fill a plain
+ * `RunReport` — so the dependency arrow stays scenario -> obs -> sim.
+ */
+
+#ifndef STRETCH_OBS_REPORT_H
+#define STRETCH_OBS_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/fleet.h"
+
+namespace stretch::obs
+{
+
+class EngineTracer;
+class MetricRegistry;
+
+/** 64-bit FNV-1a hash (stable across platforms; used to fingerprint a
+ *  report's config echo so two runs are comparable at a glance). */
+std::uint64_t fnv1a(std::string_view s);
+
+/** Everything one run-report JSON document is assembled from. The
+ *  referenced result/metrics/trace objects are borrowed and must stay
+ *  alive until the report is serialized. */
+struct RunReport
+{
+    std::string label;     ///< scenario (or drill) name
+    std::uint64_t seed = 0;
+    double timelineBucketMs = 0.0;
+
+    /** One echoed configuration field (key + printed value). */
+    struct ConfigEntry
+    {
+        std::string key;
+        std::string value;
+    };
+    /** Config echo, in insertion order; hashed into `scenario.hash`. */
+    std::vector<ConfigEntry> config;
+
+    /** The finished run (required). */
+    const sim::FleetResult *result = nullptr;
+    /** Metric snapshot to embed (optional). */
+    const MetricRegistry *metrics = nullptr;
+    /** Trace to cut failed-assertion windows from (optional). */
+    const EngineTracer *trace = nullptr;
+
+    /** One QoS-assertion verdict (plain mirror of the scenario layer's
+     *  `AssertionResult`, so obs does not depend on scenario). */
+    struct Assertion
+    {
+        std::string kind;      ///< e.g. "class-tail-at-most"
+        std::string className; ///< empty = fleet-wide
+        double bound = 0.0;
+        double fromMs = 0.0;
+        double untilMs = 0.0; ///< +inf = run end (serialized as null)
+        double observed = 0.0;
+        bool pass = false;
+        std::string detail;
+        /// @name Violation trace window (failed assertions only).
+        /// @{
+        bool hasWindow = false;
+        double windowFromMs = 0.0;
+        double windowUntilMs = 0.0;
+        /// @}
+    };
+    std::vector<Assertion> assertions;
+
+    /// @name Config-echo conveniences.
+    /// @{
+    void addConfig(std::string key, std::string value);
+    void addConfig(std::string key, double value);
+    void addConfig(std::string key, std::uint64_t value);
+    /// @}
+
+    /** FNV-1a fingerprint of label, seed, and the config echo. */
+    std::uint64_t hash() const;
+};
+
+/** Serialize @p r to the versioned run-report JSON document. */
+std::string toJson(const RunReport &r);
+
+/** Write the report to @p path; warns and returns false on I/O failure
+ *  (a failed artifact write must not kill a finished run). */
+bool writeReportFile(const std::string &path, const RunReport &r);
+
+} // namespace stretch::obs
+
+#endif // STRETCH_OBS_REPORT_H

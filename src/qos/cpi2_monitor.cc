@@ -56,6 +56,7 @@ Cpi2Monitor::evaluateTail(double tail)
 {
     MonitorDecision d = last;
     d.tailLatency = tail;
+    ++windowsEval;
 
     if (tail > cfg.qosTarget) {
         ++violations;

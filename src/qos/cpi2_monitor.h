@@ -140,6 +140,10 @@ class Cpi2Monitor
     /** Number of windows whose tail violated the QoS target. */
     std::uint64_t violationWindows() const { return violations; }
 
+    /** Total windows evaluated (violating or not) — the denominator the
+     *  telemetry layer pairs with violationWindows(). */
+    std::uint64_t windowsEvaluated() const { return windowsEval; }
+
     /** Times the decision ladder newly engaged co-runner throttling. */
     std::uint64_t throttleEngagements() const { return throttleEngages; }
 
@@ -153,6 +157,7 @@ class Cpi2Monitor
     unsigned consecutiveViolations = 0;
     std::uint64_t violations = 0;
     std::uint64_t throttleEngages = 0;
+    std::uint64_t windowsEval = 0;
     std::vector<double> cpiSamples;
 };
 

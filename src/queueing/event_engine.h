@@ -236,6 +236,16 @@ class EventEngine
      * The event order, tie-breaking, and every callback's invocation
      * sequence are identical to the `Callbacks` path: the erased run()
      * is implemented on this template (see tests/test_event_queue.cc).
+     *
+     * Observability wrappers (e.g. `obs::TracedPolicy`) rely on two
+     * guarantees of this loop that are part of the policy contract:
+     * `place` is invoked exactly once per generated arrival, at the
+     * arrival instant (`now` is the arrival's own timestamp, never a
+     * later drain time), and each `place` is followed by exactly one of
+     * a server booking or `onShed`. A wrapper that only observes the
+     * hook sequence therefore reconstructs the full admission timeline
+     * without consuming RNG draws or perturbing any event time — which
+     * is what makes traced runs bit-identical to untraced ones.
      */
     template <class Policy,
               class = std::enable_if_t<!std::is_same<

@@ -473,6 +473,92 @@ describe(const QosAssertion &a)
 
 } // namespace
 
+const char *
+toString(QosAssertion::Kind kind)
+{
+    switch (kind) {
+    case QosAssertion::Kind::ClassTailAtMost:
+        return "class-tail-at-most";
+    case QosAssertion::Kind::FleetTailAtMost:
+        return "fleet-tail-at-most";
+    case QosAssertion::Kind::AttainmentAtLeast:
+        return "attainment-at-least";
+    case QosAssertion::Kind::RecoveryWithin:
+        return "recovery-within";
+    }
+    return "?";
+}
+
+std::optional<TraceWindow>
+violationWindow(const AssertionResult &v, const sim::FleetResult &result,
+                double timeline_bucket_ms)
+{
+    using Kind = QosAssertion::Kind;
+    if (v.pass)
+        return std::nullopt;
+    const QosAssertion &a = v.assertion;
+    const double elapsed = result.dispatch.elapsedMs;
+    const std::vector<sim::TimelineBucket> &timeline =
+        result.dispatch.timeline;
+
+    auto clamped = [&](double from, double until) {
+        TraceWindow w;
+        w.fromMs = std::max(0.0, from);
+        w.untilMs = std::min(elapsed, until);
+        if (w.untilMs < w.fromMs)
+            w.untilMs = w.fromMs;
+        return w;
+    };
+
+    switch (a.kind) {
+    case Kind::ClassTailAtMost:
+    case Kind::FleetTailAtMost: {
+        // Tight window over the buckets that actually violated the
+        // bound (mirrors evaluate()'s bucket scan), padded by one
+        // bucket of context each side. A window with no completions at
+        // all has no violating bucket — fall back to the asserted
+        // window itself.
+        std::size_t ci = 0;
+        if (a.kind == Kind::ClassTailAtMost) {
+            for (std::size_t i = 0;
+                 i < result.dispatch.perClass.size(); ++i) {
+                if (result.dispatch.perClass[i].name == a.className)
+                    ci = i;
+            }
+        }
+        double lo = kInf;
+        double hi = -kInf;
+        for (const sim::TimelineBucket &b : timeline) {
+            if (b.startMs >= a.untilMs ||
+                b.startMs + timeline_bucket_ms <= a.fromMs)
+                continue;
+            std::uint64_t done = b.completions;
+            double p99 = b.p99Ms;
+            if (a.kind == Kind::ClassTailAtMost && ci < b.perClass.size()) {
+                done = b.perClass[ci].completions;
+                p99 = b.perClass[ci].p99Ms;
+            }
+            if (done == 0 || p99 <= a.bound)
+                continue;
+            lo = std::min(lo, b.startMs);
+            hi = std::max(hi, b.startMs + timeline_bucket_ms);
+        }
+        if (!std::isfinite(lo))
+            return clamped(a.fromMs, a.untilMs);
+        return clamped(lo - timeline_bucket_ms, hi + timeline_bucket_ms);
+    }
+    case Kind::AttainmentAtLeast:
+        // Attainment is a whole-run verdict; there is no tighter slice.
+        return clamped(0.0, elapsed);
+    case Kind::RecoveryWithin:
+        // The allowance the class blew: from the incident clearing to
+        // the recovery deadline, plus one bucket of context after.
+        return clamped(a.fromMs,
+                       a.fromMs + a.bound + timeline_bucket_ms);
+    }
+    return std::nullopt;
+}
+
 std::vector<AssertionResult>
 evaluate(const std::vector<QosAssertion> &assertions,
          const sim::FleetResult &result, double timeline_bucket_ms)

@@ -33,6 +33,7 @@
 #define STRETCH_SCENARIO_INCIDENTS_H
 
 #include <limits>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -213,6 +214,10 @@ QosAssertion recoveryWithin(std::string class_name, double latency_bound_ms,
 void scaleAssertionTimes(std::vector<QosAssertion> &assertions,
                          double factor);
 
+/** Human-readable assertion-kind name (kebab-case, stable — used as the
+ *  `kind` field of run-report assertion entries). */
+const char *toString(QosAssertion::Kind kind);
+
 /** Verdict of one assertion against one run. */
 struct AssertionResult
 {
@@ -221,6 +226,24 @@ struct AssertionResult
     double observed = 0.0; ///< worst p99 / attainment / recovery ms
     std::string detail;    ///< human-readable one-liner
 };
+
+/** A simulated-time window (for trace attachments). */
+struct TraceWindow
+{
+    double fromMs = 0.0;
+    double untilMs = 0.0;
+};
+
+/**
+ * The window of simulated time around the timeline buckets that made
+ * @p v fail, padded by one bucket on each side and clamped to the run
+ * — the slice of trace a run report attaches to a failed assertion.
+ * Empty for passing assertions; attainment failures (no bucket window
+ * of their own) cover the whole run.
+ */
+std::optional<TraceWindow>
+violationWindow(const AssertionResult &v, const sim::FleetResult &result,
+                double timeline_bucket_ms);
 
 /**
  * Evaluate assertions against a finished run. Tail and recovery kinds

@@ -1,8 +1,11 @@
 #include "scenario/presets.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace stretch::scenario
@@ -404,10 +407,49 @@ runDrill(const Drill &d, const std::function<void(Scenario &)> &tweak)
 
     DrillOutcome out;
     out.horizonMs = horizonMs;
-    out.result = run(s);
+    const bool instrumented = !s.reportPath.empty() || !s.tracePath.empty();
+    if (!instrumented) {
+        out.result = run(s);
+    } else {
+        // Instrument here instead of letting run() write the artifacts:
+        // the drill report must carry the assertion verdicts, which do
+        // not exist until after evaluation.
+        InstrumentedRun r = runInstrumented(s);
+        out.result = std::move(r.result);
+        out.trace = std::move(r.trace);
+        out.metrics = std::move(r.metrics);
+    }
     out.assertions = evaluate(assertions, out.result, bucketMs);
     out.pass = std::all_of(out.assertions.begin(), out.assertions.end(),
                            [](const AssertionResult &r) { return r.pass; });
+
+    if (!s.tracePath.empty() && out.trace)
+        out.trace->writeFile(s.tracePath);
+    if (!s.reportPath.empty()) {
+        obs::RunReport rep = makeReport(s, out.result, out.metrics.get(),
+                                        out.trace.get());
+        rep.label = d.name;
+        rep.timelineBucketMs = bucketMs;
+        for (const AssertionResult &v : out.assertions) {
+            obs::RunReport::Assertion a;
+            a.kind = toString(v.assertion.kind);
+            a.className = v.assertion.className;
+            a.bound = v.assertion.bound;
+            a.fromMs = v.assertion.fromMs;
+            a.untilMs = v.assertion.untilMs;
+            a.observed = v.observed;
+            a.pass = v.pass;
+            a.detail = v.detail;
+            if (std::optional<TraceWindow> win =
+                    violationWindow(v, out.result, bucketMs)) {
+                a.hasWindow = true;
+                a.windowFromMs = win->fromMs;
+                a.windowUntilMs = win->untilMs;
+            }
+            rep.assertions.push_back(std::move(a));
+        }
+        obs::writeReportFile(s.reportPath, rep);
+    }
     return out;
 }
 

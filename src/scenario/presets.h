@@ -24,6 +24,7 @@
 #define STRETCH_SCENARIO_PRESETS_H
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,13 +63,17 @@ const std::vector<Drill> &drillCatalog();
 const Drill &drill(const std::string &name);
 
 /** A finished drill: the run, the scaled-and-evaluated assertions, and
- *  the overall verdict. */
+ *  the overall verdict. When the drill ran instrumented (the tweak set
+ *  `tracePath`/`reportPath`), the live tracer/registry ride along for
+ *  cross-checking — null otherwise. */
 struct DrillOutcome
 {
     sim::FleetResult result;
     std::vector<AssertionResult> assertions;
     double horizonMs = 0.0; ///< resolved run horizon the times scaled to
     bool pass = false;      ///< every assertion passed
+    std::shared_ptr<obs::EngineTracer> trace;
+    std::shared_ptr<obs::MetricRegistry> metrics;
 };
 
 /**
@@ -76,6 +81,11 @@ struct DrillOutcome
  * it to *break* the control configuration and prove the assertions have
  * teeth), resolve the horizon, scale the incident/assertion times, run,
  * and evaluate. Deterministic in the preset seed.
+ *
+ * When the tweak sets the scenario's `tracePath`/`reportPath`, the run
+ * is instrumented and the artifacts are written after evaluation — the
+ * run report carries the assertion verdicts, and each failed assertion
+ * attaches the trace window around its violating buckets.
  */
 DrillOutcome runDrill(const Drill &d,
                       const std::function<void(Scenario &)> &tweak = {});

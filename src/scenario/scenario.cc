@@ -1,6 +1,7 @@
 #include "scenario/scenario.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <condition_variable>
 #include <map>
@@ -8,6 +9,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/op_point_cache.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
@@ -349,6 +352,20 @@ ScenarioBuilder::hourlyTimeline()
 }
 
 ScenarioBuilder &
+ScenarioBuilder::reportTo(std::string path)
+{
+    draft.reportPath = std::move(path);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::traceTo(std::string path)
+{
+    draft.tracePath = std::move(path);
+    return *this;
+}
+
+ScenarioBuilder &
 ScenarioBuilder::opsPerRequest(double ops)
 {
     draft.opsPerRequest = ops;
@@ -683,10 +700,137 @@ lower(const Scenario &s)
     return fleet;
 }
 
+InstrumentedRun::InstrumentedRun() = default;
+InstrumentedRun::InstrumentedRun(InstrumentedRun &&) noexcept = default;
+InstrumentedRun &
+InstrumentedRun::operator=(InstrumentedRun &&) noexcept = default;
+InstrumentedRun::~InstrumentedRun() = default;
+
+InstrumentedRun
+runInstrumented(const Scenario &s)
+{
+    sim::FleetConfig fleet = lower(s);
+    InstrumentedRun out;
+    if (!s.tracePath.empty())
+        out.trace = std::make_unique<obs::EngineTracer>(fleet.cores.size());
+    if (!s.reportPath.empty())
+        out.metrics = std::make_unique<obs::MetricRegistry>();
+    fleet.tracer = out.trace.get();
+    fleet.metrics = out.metrics.get();
+    out.result = sim::runFleet(fleet);
+    return out;
+}
+
+obs::RunReport
+makeReport(const Scenario &s, const sim::FleetResult &result,
+           const obs::MetricRegistry *metrics, const obs::EngineTracer *trace)
+{
+    obs::RunReport r;
+    r.label = s.name;
+    r.seed = s.seed;
+    r.timelineBucketMs = s.hourlyTimeline ? s.msPerHour : s.timelineBucketMs;
+    r.result = &result;
+    r.metrics = metrics;
+    r.trace = trace;
+
+    // Config echo: every scenario knob that shapes the run, printed the
+    // way the builder took it (relative quantities stay relative — the
+    // hash should identify the *experiment*, not its calibration).
+    r.addConfig("cores", static_cast<std::uint64_t>(s.cores.size()));
+    r.addConfig("requests", s.requests);
+    if (s.dayRequests)
+        r.addConfig("dayRequests", "true");
+    if (s.arrivalRatePerMs > 0.0)
+        r.addConfig("arrivalRatePerMs", s.arrivalRatePerMs);
+    if (s.meanLoadFraction > 0.0)
+        r.addConfig("meanLoadFraction", s.meanLoadFraction);
+    if (s.peakLoadFraction > 0.0)
+        r.addConfig("peakLoadFraction", s.peakLoadFraction);
+    r.addConfig("burstRatio", s.burstRatio);
+    if (s.trace)
+        r.addConfig("diurnalMsPerHour", s.msPerHour);
+    if (!s.classes.empty()) {
+        std::string names;
+        for (const workloads::ServiceClass &c : s.classes.all()) {
+            if (!names.empty())
+                names += ",";
+            names += c.name;
+        }
+        r.addConfig("classes", std::move(names));
+        r.addConfig("perClassArrivals",
+                    s.perClassArrivals ? "true" : "false");
+    }
+    r.addConfig("placement", sim::toString(s.placement));
+    r.addConfig("modePolicy", sim::toString(s.control.kind));
+    r.addConfig("controlQuantumMs", s.control.quantumMs);
+    if (s.qosTargetFactor > 0.0)
+        r.addConfig("qosTargetFactor", s.qosTargetFactor);
+    else if (s.control.monitor.qosTarget > 0.0)
+        r.addConfig("qosTargetMs", s.control.monitor.qosTarget);
+    if (!s.incidents.empty()) {
+        std::string kinds;
+        for (const Incident &i : s.incidents) {
+            if (!kinds.empty())
+                kinds += ",";
+            kinds += incidentName(i);
+        }
+        r.addConfig("incidents", std::move(kinds));
+    }
+    r.addConfig("opsPerRequest", s.opsPerRequest);
+    return r;
+}
+
+namespace
+{
+
+/** Write whatever artifacts @p s's reporting paths ask for. */
+void
+writeRunArtifacts(const Scenario &s, const InstrumentedRun &r)
+{
+    if (!s.tracePath.empty() && r.trace)
+        r.trace->writeFile(s.tracePath);
+    if (!s.reportPath.empty()) {
+        obs::RunReport rep =
+            makeReport(s, r.result, r.metrics.get(), r.trace.get());
+        obs::writeReportFile(s.reportPath, rep);
+    }
+}
+
+} // namespace
+
 sim::FleetResult
 run(const Scenario &s)
 {
-    return sim::runFleet(lower(s));
+    // Fast path: no artifacts requested means no tracer and no registry
+    // anywhere near the dispatch loop.
+    if (s.reportPath.empty() && s.tracePath.empty())
+        return sim::runFleet(lower(s));
+    InstrumentedRun r = runInstrumented(s);
+    writeRunArtifacts(s, r);
+    return std::move(r.result);
+}
+
+std::string
+variantArtifactPath(const std::string &base, const std::string &label)
+{
+    std::string tag;
+    for (char c : label) {
+        const unsigned char uc = static_cast<unsigned char>(c);
+        const bool keep =
+            std::isalnum(uc) || c == '.' || c == '_' || c == '-';
+        const char mapped = keep ? c : '-';
+        if (mapped == '-' && (tag.empty() || tag.back() == '-'))
+            continue; // collapse runs of separators, no leading one
+        tag += mapped;
+    }
+    while (!tag.empty() && tag.back() == '-')
+        tag.pop_back();
+    const std::size_t slash = base.find_last_of('/');
+    const std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return base + "-" + tag;
+    return base.substr(0, dot) + "-" + tag + base.substr(dot);
 }
 
 Sweep::Sweep(Scenario base) : base(std::move(base)) {}
@@ -759,6 +903,19 @@ Sweep::run() const
     // (operating points, calibration probes) converges in the
     // single-flight process-wide caches rather than duplicating.
     std::vector<Variant> vars = variants();
+    // Artifact paths are sweep-level in the base scenario; give each
+    // variant its own files so one variant's report does not clobber
+    // the next (patches may override per variant — theirs win).
+    for (Variant &v : vars) {
+        if (!base.reportPath.empty() &&
+            v.scenario.reportPath == base.reportPath)
+            v.scenario.reportPath =
+                variantArtifactPath(base.reportPath, v.label);
+        if (!base.tracePath.empty() &&
+            v.scenario.tracePath == base.tracePath)
+            v.scenario.tracePath =
+                variantArtifactPath(base.tracePath, v.label);
+    }
     std::vector<sim::FleetResult> results(vars.size());
     ThreadPool::parallelFor(base.threads, vars.size(), [&](std::size_t i) {
         results[i] = scenario::run(vars[i].scenario);

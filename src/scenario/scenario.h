@@ -38,11 +38,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/report.h"
 #include "scenario/incidents.h"
 #include "sim/fleet.h"
 
@@ -123,6 +125,13 @@ struct Scenario
     /** One timeline bucket per replayed hour (diurnal only);
      *  overrides timelineBucketMs. */
     bool hourlyTimeline = false;
+    /** Write a versioned run-report JSON manifest here after the run
+     *  (empty = off). Enables the metric registry for the run. */
+    std::string reportPath;
+    /** Write a Chrome trace_event JSON file here after the run (empty =
+     *  off). Enables the engine tracer; the simulated outcome stays
+     *  bit-identical to an untraced run. */
+    std::string tracePath;
     /// @}
 
     /// @name Runtime.
@@ -243,6 +252,10 @@ class ScenarioBuilder
     ScenarioBuilder &timeline(double bucket_ms);
     /** One timeline bucket per replayed hour. */
     ScenarioBuilder &hourlyTimeline();
+    /** Emit a run-report JSON manifest to @p path after the run. */
+    ScenarioBuilder &reportTo(std::string path);
+    /** Emit a Chrome trace_event JSON file to @p path after the run. */
+    ScenarioBuilder &traceTo(std::string path);
     /// @}
 
     /// @name Runtime.
@@ -279,8 +292,52 @@ class ScenarioBuilder
  */
 sim::FleetConfig lower(const Scenario &s);
 
-/** Run a scenario end to end: calibrate (if needed), lower, dispatch. */
+/** Run a scenario end to end: calibrate (if needed), lower, dispatch.
+ *  When `reportPath`/`tracePath` are set the run is instrumented and
+ *  the artifacts are written before returning; otherwise this is the
+ *  zero-overhead fast path (no tracer, no registry, the untouched
+ *  engine loop). */
 sim::FleetResult run(const Scenario &s);
+
+/**
+ * A finished instrumented run: the fleet result plus whichever
+ * observability objects the scenario's reporting paths enabled
+ * (`trace` when `tracePath` was set, `metrics` when `reportPath` was —
+ * null otherwise). `runInstrumented` writes NO files; callers that
+ * want the artifacts on disk use `run`, or serialize these themselves
+ * (the drill runner does, so it can attach assertion verdicts first).
+ */
+struct InstrumentedRun
+{
+    InstrumentedRun();
+    InstrumentedRun(InstrumentedRun &&) noexcept;
+    InstrumentedRun &operator=(InstrumentedRun &&) noexcept;
+    ~InstrumentedRun();
+
+    sim::FleetResult result;
+    std::unique_ptr<obs::EngineTracer> trace;
+    std::unique_ptr<obs::MetricRegistry> metrics;
+};
+
+/** Run a scenario with whatever instrumentation its reporting paths
+ *  enable, returning the live tracer/registry instead of writing
+ *  files. The simulated result is bit-identical to `run`. */
+InstrumentedRun runInstrumented(const Scenario &s);
+
+/** Assemble a run report for @p s: identity (label, seed, config
+ *  echo), the effective timeline bucket, and borrowed pointers to the
+ *  result/metrics/trace (which must outlive the report's
+ *  serialization). Callers append assertion verdicts before writing. */
+obs::RunReport makeReport(const Scenario &s, const sim::FleetResult &result,
+                          const obs::MetricRegistry *metrics,
+                          const obs::EngineTracer *trace);
+
+/** Derive a per-variant artifact path from a sweep-level base path:
+ *  the variant label — sanitized to [A-Za-z0-9._-] — is inserted
+ *  before the extension ("runs/day.json" + "policy=qos" →
+ *  "runs/day-policy-qos.json"). */
+std::string variantArtifactPath(const std::string &base,
+                                const std::string &label);
 
 /**
  * Declarative cartesian sweep over scenario variants.
@@ -348,6 +405,9 @@ class Sweep
      * hardware concurrency), bit-identical to the serial loop: every
      * variant is an independent simulation writing an index-addressed
      * slot, and shared probe work converges in single-flight caches.
+     * When the base scenario sets `reportPath`/`tracePath`, each
+     * variant writes its own artifacts at
+     * `variantArtifactPath(base path, variant label)`.
      */
     std::vector<Outcome> run() const;
 

@@ -105,7 +105,9 @@ ClassRouter::route(workloads::ClassId cls, double now, double demand,
 
     std::size_t target;
     double predicted;
-    if (isHot(cls)) {
+    bool onLittle = false;
+    const bool hot = isHot(cls);
+    if (hot) {
         // Hot classes live on the big cores; overflow to the whole fleet
         // only when every big core already predicts an SLO miss (the
         // little cores are then the lesser evil).
@@ -115,11 +117,13 @@ ClassRouter::route(workloads::ClassId cls, double now, double demand,
             if (lp < predicted) {
                 target = lt;
                 predicted = lp;
+                onLittle = true;
             }
         }
     } else if (!little.empty() && reservedAt(now)) {
         // Peak hours: the big cores are reserved for hot traffic.
         std::tie(target, predicted) = best(little);
+        onLittle = true;
     } else {
         // Trough hours (or a fleet with no little set): loose classes
         // may soak up the idle big cores too.
@@ -129,13 +133,20 @@ ClassRouter::route(workloads::ClassId cls, double now, double demand,
             if (lp < predicted) {
                 target = lt;
                 predicted = lp;
+                onLittle = true;
             }
         }
     }
 
     if (cfg.shedEnabled && c.sheddable &&
-        predicted > cfg.shedFactor * c.sloMs)
+        predicted > cfg.shedFactor * c.sloMs) {
+        ++stats.shedAdmission;
         return queueing::EventEngine::shed;
+    }
+    if (hot)
+        ++(onLittle ? stats.hotOverflow : stats.hotPinned);
+    else
+        ++(onLittle ? stats.looseLittle : stats.looseBig);
     return target;
 }
 

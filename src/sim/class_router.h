@@ -125,6 +125,19 @@ class ClassRouter
     const std::vector<std::size_t> &littleCores() const { return little; }
     /// @}
 
+    /** Per-decision routing tallies (telemetry; see RoutingStats). */
+    struct RoutingStats
+    {
+        std::uint64_t hotPinned = 0;    ///< hot request kept on a big core
+        std::uint64_t hotOverflow = 0;  ///< hot request spilled to little
+        std::uint64_t looseLittle = 0;  ///< loose request on the little set
+        std::uint64_t looseBig = 0;     ///< loose request on an idle big core
+        std::uint64_t shedAdmission = 0; ///< dropped by admission control
+    };
+
+    /** Tallies accumulated by route() since construction. */
+    const RoutingStats &routingStats() const { return stats; }
+
   private:
     const workloads::ServiceClassRegistry &classes;
     ClassRouterConfig cfg;
@@ -133,6 +146,9 @@ class ClassRouter
     bool perClassPhases;
     std::vector<std::size_t> big;    ///< fastest serving cores
     std::vector<std::size_t> little; ///< remaining serving cores
+    /** route() is a const routing decision; the tallies are observation
+     *  only, hence mutable. */
+    mutable RoutingStats stats;
 };
 
 } // namespace stretch::sim

@@ -8,6 +8,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "queueing/arrivals.h"
 #include "queueing/event_engine.h"
 #include "sim/op_point_cache.h"
@@ -134,6 +136,28 @@ toString(ModePolicyKind kind)
         return "backlog-hysteresis";
     case ModePolicyKind::SlackDriven:
         return "slack-driven";
+    }
+    return "?";
+}
+
+const char *
+toString(IncidentAction::Kind kind)
+{
+    switch (kind) {
+    case IncidentAction::Kind::ArrivalScale:
+        return "arrival-scale";
+    case IncidentAction::Kind::CoreRateScale:
+        return "core-rate-scale";
+    case IncidentAction::Kind::CoreFail:
+        return "core-fail";
+    case IncidentAction::Kind::ClassSloRetarget:
+        return "class-slo-retarget";
+    case IncidentAction::Kind::RetryStormStart:
+        return "retry-storm-start";
+    case IncidentAction::Kind::RetryStormTick:
+        return "retry-storm-tick";
+    case IncidentAction::Kind::RetryStormEnd:
+        return "retry-storm-end";
     }
     return "?";
 }
@@ -412,6 +436,13 @@ dispatchRequests(const DispatchConfig &cfg)
     std::uint64_t stormDone = 0; // completions since the last storm tick
     std::uint64_t stormLate = 0; // late completions since the last tick
 
+    // Observability taps. The tracer only observes — no RNG draws, no
+    // times touched — so a traced run is bit-identical to an untraced
+    // one; the registry is filled once after the run from tallies the
+    // dispatcher keeps anyway.
+    obs::EngineTracer *const tracer = cfg.tracer;
+    std::uint64_t quantaFired = 0;
+
     // Co-runner throttle state (the CPI² corrective action): engaged and
     // lifted by the SlackDriven monitor ladder at quantum boundaries.
     std::vector<char> throttled(n, 0);
@@ -648,6 +679,7 @@ dispatchRequests(const DispatchConfig &cfg)
     // policy type; a zero quantum (Static control) simply never fires
     // it, so no controller state is touched.
     auto quantumFn = [&](double t) {
+        ++quantaFired;
         std::size_t throttledNow = 0;
         for (std::size_t c : servingIdx) {
             CoreControl &cc = *controls[c];
@@ -717,8 +749,12 @@ dispatchRequests(const DispatchConfig &cfg)
                 if (wantThrottle) {
                     ++ms.throttleEngagements;
                     throttleStartMs[c] = t;
+                    if (tracer)
+                        tracer->throttleBegin(c, t);
                 } else {
                     ms.throttleMs += t - throttleStartMs[c];
+                    if (tracer)
+                        tracer->throttleEnd(c, t);
                 }
                 throttled[c] = wantThrottle;
                 rate[c] = effectiveRate(c);
@@ -727,6 +763,10 @@ dispatchRequests(const DispatchConfig &cfg)
                 ++throttledNow;
             if (next == mode[c])
                 continue;
+            if (tracer) {
+                tracer->modeEnd(c, t, toString(mode[c]));
+                tracer->modeBegin(c, t, toString(next));
+            }
             ms.residencyMs[modeIndex(mode[c])] += t - segStartMs[c];
             segStartMs[c] = t;
             cc.ctrl.engage(next); // register write + partitions + flush
@@ -754,6 +794,22 @@ dispatchRequests(const DispatchConfig &cfg)
     };
     auto controlFireFn = [&](double t) {
         const IncidentAction &a = actions[actionNext++];
+        if (tracer) {
+            switch (a.kind) {
+            case IncidentAction::Kind::CoreRateScale:
+            case IncidentAction::Kind::CoreFail:
+                tracer->incident(t, toString(a.kind), a.value, "core",
+                                 static_cast<double>(a.core));
+                break;
+            case IncidentAction::Kind::ClassSloRetarget:
+                tracer->incident(t, toString(a.kind), a.value, "class",
+                                 static_cast<double>(a.classId));
+                break;
+            default:
+                tracer->incident(t, toString(a.kind), a.value);
+                break;
+            }
+        }
         switch (a.kind) {
         case IncidentAction::Kind::ArrivalScale:
             baseArrivalScale = a.value;
@@ -779,9 +835,13 @@ dispatchRequests(const DispatchConfig &cfg)
                 t - segStartMs[a.core];
             segStartMs[a.core] = t;
             ms.finalMode = mode[a.core];
+            if (tracer)
+                tracer->modeEnd(a.core, t, toString(mode[a.core]));
             if (throttled[a.core]) {
                 ms.throttleMs += t - throttleStartMs[a.core];
                 throttled[a.core] = 0;
+                if (tracer)
+                    tracer->throttleEnd(a.core, t);
             }
             break;
         }
@@ -831,7 +891,19 @@ dispatchRequests(const DispatchConfig &cfg)
         arrivalFn, demandFn, placeFn, finishFn, completeFn, shedFn,
         quantumFn, dynamic ? mc.quantumMs : 0.0, out.offeredRatePerMs,
         controlNextFn, controlFireFn);
-    engine.run(cfg.requests, policy);
+    // The tracing decision happens ONCE, here: the untraced branch
+    // instantiates the engine loop with the bare policy — literally the
+    // pre-observability code path, no per-event null check — while the
+    // traced branch instantiates a second specialization through the
+    // observing wrapper.
+    if (tracer) {
+        for (std::size_t c : servingIdx)
+            tracer->modeBegin(c, 0.0, toString(mode[c]));
+        obs::TracedPolicy<decltype(policy)> traced(policy, *tracer);
+        engine.run(cfg.requests, traced);
+    } else {
+        engine.run(cfg.requests, policy);
+    }
 
     // Close out the mode and throttle timelines at the makespan.
     out.elapsedMs = engine.elapsedMs();
@@ -839,9 +911,13 @@ dispatchRequests(const DispatchConfig &cfg)
         CoreModeStats &ms = out.modeStats[c];
         ms.residencyMs[modeIndex(mode[c])] += out.elapsedMs - segStartMs[c];
         ms.finalMode = mode[c];
+        if (tracer)
+            tracer->modeEnd(c, out.elapsedMs, toString(mode[c]));
         if (throttled[c]) {
             ms.throttleMs += out.elapsedMs - throttleStartMs[c];
             ms.throttledAtEnd = true;
+            if (tracer)
+                tracer->throttleEnd(c, out.elapsedMs);
         }
         if (controls[c]) {
             STRETCH_ASSERT(controls[c]->ctrl.modeChanges() == ms.transitions,
@@ -918,6 +994,73 @@ dispatchRequests(const DispatchConfig &cfg)
             ? static_cast<double>(latencies.count()) /
                   (out.elapsedMs / 1000.0)
             : 0.0;
+
+    // End-of-run metric fill: everything below restates tallies the
+    // dispatcher accumulated anyway, so an attached registry costs the
+    // event loop nothing.
+    if (cfg.metrics) {
+        obs::MetricRegistry &reg = *cfg.metrics;
+        reg.counter("engine.arrivals") += cfg.requests;
+        reg.counter("engine.completions") += latencies.count();
+        reg.counter("engine.sheds") += out.totalShed;
+        reg.counter("engine.quantum_boundaries") += quantaFired;
+        reg.counter("control.mode_transitions") += out.totalTransitions();
+        reg.counter("control.throttle_engagements") +=
+            out.totalThrottleEngagements();
+        reg.gauge("control.throttle_core_ms") += out.totalThrottleMs();
+        double flushTotalMs = 0.0;
+        std::uint64_t outliers = 0;
+        for (const CoreModeStats &ms : out.modeStats) {
+            flushTotalMs += ms.flushMs;
+            outliers += ms.cpiOutliers;
+        }
+        reg.gauge("control.mode_flush_ms") += flushTotalMs;
+        reg.counter("qos.cpi_outliers") += outliers;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (!controls[c])
+                continue;
+            auto absorb = [&](const Cpi2Monitor &mon) {
+                reg.counter("qos.violation_windows") +=
+                    mon.violationWindows();
+                reg.counter("qos.windows_evaluated") +=
+                    mon.windowsEvaluated();
+                reg.counter("qos.monitor_throttle_orders") +=
+                    mon.throttleEngagements();
+            };
+            if (classesOn) {
+                for (const Cpi2Monitor &mon : controls[c]->classMonitors)
+                    absorb(mon);
+            } else {
+                absorb(controls[c]->monitor);
+            }
+        }
+        reg.counter("incidents.fired") += actionNext;
+        for (std::size_t i = 0; i < actionNext; ++i) {
+            ++reg.counter(std::string("incidents.") +
+                          toString(actions[i].kind));
+        }
+        if (router) {
+            const ClassRouter::RoutingStats &rs = router->routingStats();
+            reg.counter("router.hot_pinned") += rs.hotPinned;
+            reg.counter("router.hot_overflow") += rs.hotOverflow;
+            reg.counter("router.loose_little") += rs.looseLittle;
+            reg.counter("router.loose_big") += rs.looseBig;
+            reg.counter("router.shed_admission") += rs.shedAdmission;
+        }
+        latencies.mergeInto(reg.tail("dispatch.latency_ms"));
+        reg.gauge("dispatch.elapsed_ms") = out.elapsedMs;
+        reg.gauge("dispatch.offered_rate_per_ms") = out.offeredRatePerMs;
+        reg.gauge("dispatch.throughput_rps") = out.throughputRps;
+        for (std::size_t k = 0; k < numClasses; ++k) {
+            const ClassOutcome &co = out.perClass[k];
+            const std::string prefix = "class." + co.name + ".";
+            reg.counter(prefix + "completions") += co.completed;
+            reg.counter(prefix + "sheds") += co.shed;
+            reg.counter(prefix + "slo_good") += classGood[k];
+            reg.gauge(prefix + "slo_attainment") = co.sloAttainment;
+            classLatencies[k].mergeInto(reg.tail(prefix + "latency_ms"));
+        }
+    }
     return out;
 }
 
@@ -1108,6 +1251,8 @@ runFleet(const FleetConfig &cfg)
     dispatch.incidents = cfg.incidents;
     dispatch.queueKind = cfg.queueKind;
     dispatch.control = cfg.modeControl;
+    dispatch.tracer = cfg.tracer;
+    dispatch.metrics = cfg.metrics;
     fleet.dispatch = dispatchRequests(dispatch);
 
     // Close the loop's throughput accounting: weight each core's batch

@@ -66,6 +66,12 @@
 #include "stats/summary.h"
 #include "workload/service_class.h"
 
+namespace stretch::obs
+{
+class EngineTracer;
+class MetricRegistry;
+} // namespace stretch::obs
+
 namespace stretch::sim
 {
 
@@ -268,6 +274,9 @@ struct IncidentAction
     std::uint32_t classId = 0; ///< target class (ClassSloRetarget only)
 };
 
+/** Human-readable incident-action kind (also the trace event name). */
+const char *toString(IncidentAction::Kind kind);
+
 /** Full description of a request-dispatch experiment over fixed cores. */
 struct DispatchConfig
 {
@@ -381,6 +390,18 @@ struct DispatchConfig
     queueing::EventQueueKind queueKind = queueing::EventQueueKind::Calendar;
 
     ModeControlConfig control;
+
+    /// @name Observability taps (non-owning; both optional).
+    /// With `tracer` set the dispatcher runs the engine loop through a
+    /// `obs::TracedPolicy` wrapper and records Chrome trace events; null
+    /// instantiates the exact untraced loop — no per-event branch — and
+    /// either way the simulation results are bit-identical (the tracer
+    /// only observes). With `metrics` set the dispatcher fills the
+    /// registry once at end of run from tallies it already keeps.
+    /// @{
+    obs::EngineTracer *tracer = nullptr;
+    obs::MetricRegistry *metrics = nullptr;
+    /// @}
 };
 
 /** Latency/throughput summary of one timeline bucket (see
@@ -584,6 +605,13 @@ struct FleetConfig
 
     /** Pool workers for per-core simulations: 1 = serial, 0 = hardware. */
     unsigned threads = 0;
+
+    /// @name Observability taps, forwarded to the dispatcher untouched
+    /// (see DispatchConfig; non-owning, both optional).
+    /// @{
+    obs::EngineTracer *tracer = nullptr;
+    obs::MetricRegistry *metrics = nullptr;
+    /// @}
 };
 
 /**

@@ -137,6 +137,17 @@ TailRecorder::merge(const TailRecorder &other)
     }
 }
 
+void
+TailRecorder::mergeInto(StreamingTail &out) const
+{
+    if (exactMode) {
+        for (double v : samples)
+            out.record(v);
+    } else {
+        out.merge(tail);
+    }
+}
+
 double
 TailRecorder::percentile(double pct) const
 {

@@ -172,6 +172,11 @@ class TailRecorder
     /** Fold @p other into this recorder (modes must match). */
     void merge(const TailRecorder &other);
 
+    /** Fold this recorder's observations into histogram @p out,
+     *  regardless of mode (exact samples are re-recorded one by one).
+     *  Lets the metric registry absorb either recorder flavour. */
+    void mergeInto(StreamingTail &out) const;
+
     /** Percentile: exact type-7 in exact mode, bin-resolution otherwise. */
     double percentile(double pct) const;
 

@@ -162,6 +162,116 @@ TEST(StreamingTail, MergeIntoEmptyAndFromEmpty)
     EXPECT_EQ(a.count(), 2u);
 }
 
+TEST(StreamingTail, SnapshotOfEmptyIsAllZero)
+{
+    // The metric registry snapshots whatever tails exist at report
+    // time, including ones nothing recorded into — the empty summary
+    // must be well-defined zeros, not UB from an empty bin walk.
+    StreamingTail empty;
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+    const ViolinSummary s = empty.summarize();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.median, 0.0);
+    EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(StreamingTail, EmptyIsATwoSidedMergeIdentity)
+{
+    Rng rng(31, 0x1d31);
+    StreamingTail ref;
+    for (int i = 0; i < 4000; ++i)
+        ref.record(rng.lognormal(0.2, 1.1));
+
+    // x + 0 and 0 + x both reproduce x exactly, quantiles included.
+    StreamingTail right = ref;
+    right.merge(StreamingTail{});
+    StreamingTail left;
+    left.merge(ref);
+    for (StreamingTail *t : {&right, &left}) {
+        EXPECT_EQ(t->count(), ref.count());
+        EXPECT_DOUBLE_EQ(t->min(), ref.min());
+        EXPECT_DOUBLE_EQ(t->max(), ref.max());
+        EXPECT_DOUBLE_EQ(t->mean(), ref.mean());
+        for (double pct : {10.0, 50.0, 95.0, 99.0, 99.9})
+            EXPECT_DOUBLE_EQ(t->percentile(pct), ref.percentile(pct));
+    }
+
+    // And 0 + 0 stays the identity.
+    StreamingTail zero;
+    zero.merge(StreamingTail{});
+    EXPECT_EQ(zero.count(), 0u);
+}
+
+TEST(StreamingTail, QuantilesSurviveMergeOfMergesWithIdentities)
+{
+    // Build ((a + 0) + (0 + b)) + (c + 0) and compare against the flat
+    // recording — interleaved identity elements must not disturb any
+    // quantile (bin counters add losslessly; empties add nothing).
+    Rng rng(37, 0x9e55);
+    StreamingTail a, b, c, whole;
+    for (int i = 0; i < 6000; ++i) {
+        double v = rng.exponential(2.0);
+        whole.record(v);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+    }
+    StreamingTail ab = a;
+    ab.merge(StreamingTail{}); // a + 0
+    StreamingTail zb;
+    zb.merge(b); // 0 + b
+    ab.merge(zb);
+    StreamingTail cz = c;
+    cz.merge(StreamingTail{}); // c + 0
+    ab.merge(cz);
+    EXPECT_EQ(ab.count(), whole.count());
+    EXPECT_DOUBLE_EQ(ab.min(), whole.min());
+    EXPECT_DOUBLE_EQ(ab.max(), whole.max());
+    for (double pct : {25.0, 50.0, 90.0, 99.0, 99.9})
+        EXPECT_DOUBLE_EQ(ab.percentile(pct), whole.percentile(pct));
+}
+
+TEST(TailRecorder, MergeIntoAbsorbsBothModesIdentically)
+{
+    // mergeInto is how the dispatcher folds its recorders into the
+    // metric registry's histograms: exact recorders re-record sample by
+    // sample, streaming recorders merge bins — either way the target
+    // histogram must equal direct recording of the same values.
+    Rng rng(41, 0xab5b);
+    std::vector<double> values;
+    TailRecorder exact(/*exact=*/true);
+    TailRecorder streaming(/*exact=*/false);
+    for (int i = 0; i < 3000; ++i) {
+        double v = rng.lognormal(0.1, 0.8);
+        values.push_back(v);
+        exact.record(v);
+        streaming.record(v);
+    }
+    StreamingTail direct;
+    for (double v : values)
+        direct.record(v);
+
+    StreamingTail fromExact, fromStreaming;
+    exact.mergeInto(fromExact);
+    streaming.mergeInto(fromStreaming);
+    for (StreamingTail *t : {&fromExact, &fromStreaming}) {
+        EXPECT_EQ(t->count(), direct.count());
+        EXPECT_DOUBLE_EQ(t->min(), direct.min());
+        EXPECT_DOUBLE_EQ(t->max(), direct.max());
+        for (double pct : {50.0, 95.0, 99.0})
+            EXPECT_DOUBLE_EQ(t->percentile(pct), direct.percentile(pct));
+    }
+
+    // An empty recorder of either mode contributes nothing.
+    StreamingTail target;
+    TailRecorder emptyExact(/*exact=*/true);
+    TailRecorder emptyStreaming(/*exact=*/false);
+    emptyExact.mergeInto(target);
+    emptyStreaming.mergeInto(target);
+    EXPECT_EQ(target.count(), 0u);
+}
+
 TEST(TailRecorder, ExactModeMatchesSortBasedSummaryBitForBit)
 {
     Rng rng(23, 0xe8a);

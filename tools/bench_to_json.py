@@ -101,9 +101,15 @@ def main():
                          + ", ".join(DEFAULT_BENCHES))
     args = ap.parse_args()
 
+    # Envelope fields shared with the C++ run-report schema (see
+    # docs/OBSERVABILITY.md): schemaVersion/kind/generator identify the
+    # document, camelCase field names throughout. Version 2 renamed
+    # schema -> schemaVersion and generated_utc -> generatedUtc.
     results = {
-        "schema": 1,
-        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "schemaVersion": 2,
+        "kind": "bench-results",
+        "generator": "stretch",
+        "generatedUtc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "platform": platform.platform(),
         "mode": "quick" if args.quick else "full",
         "benches": {},

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Unit tests for the trace validator — pure-python, no fixture files
+(documents are built inline). Run directly or via ctest (registered as
+a tier1 test like test_bench_regression_check.py)."""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from validate_trace import load_strict, validate_events, validate_file
+
+
+def ev(name="e", ph="i", pid=1, tid=1, ts=0.0, **extra):
+    d = {"name": name, "ph": ph, "pid": pid, "tid": tid, "ts": ts}
+    d.update(extra)
+    return d
+
+
+class StrictJson(unittest.TestCase):
+    def test_plain_json_loads(self):
+        self.assertEqual(load_strict('{"a": 1.5}'), {"a": 1.5})
+
+    def test_nan_and_infinity_rejected(self):
+        for bad in ('{"a": NaN}', '{"a": Infinity}', '{"a": -Infinity}'):
+            with self.assertRaises(ValueError):
+                load_strict(bad)
+
+
+class SchemaShape(unittest.TestCase):
+    def test_minimal_valid_document(self):
+        doc = {"traceEvents": [ev(ph="i", s="t")]}
+        self.assertEqual(validate_events(doc), [])
+
+    def test_top_level_must_be_object_form(self):
+        self.assertTrue(validate_events([ev()]))
+        self.assertTrue(validate_events({"events": []}))
+
+    def test_missing_fields_reported(self):
+        doc = {"traceEvents": [{"ph": "i", "ts": 0}]}
+        problems = validate_events(doc)
+        self.assertTrue(any("name" in p for p in problems))
+        self.assertTrue(any("pid" in p for p in problems))
+
+    def test_unknown_phase_reported(self):
+        doc = {"traceEvents": [ev(ph="Z")]}
+        self.assertTrue(any("phase" in p for p in validate_events(doc)))
+
+    def test_metadata_events_exempt_from_ts(self):
+        doc = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "fleet"}}]}
+        self.assertEqual(validate_events(doc), [])
+
+
+class Timestamps(unittest.TestCase):
+    def test_backwards_ts_on_same_track_reported(self):
+        doc = {"traceEvents": [ev(ts=10.0), ev(ts=5.0)]}
+        problems = validate_events(doc)
+        self.assertTrue(any("backwards" in p for p in problems))
+
+    def test_tracks_are_independent(self):
+        doc = {"traceEvents": [ev(tid=1, ts=10.0), ev(tid=2, ts=5.0)]}
+        self.assertEqual(validate_events(doc), [])
+
+    def test_equal_ts_allowed(self):
+        doc = {"traceEvents": [ev(ts=5.0), ev(ts=5.0)]}
+        self.assertEqual(validate_events(doc), [])
+
+    def test_negative_and_non_finite_ts_reported(self):
+        problems = validate_events({"traceEvents": [ev(ts=-1.0)]})
+        self.assertTrue(any("negative ts" in p for p in problems))
+        problems = validate_events({"traceEvents": [ev(ts="soon")]})
+        self.assertTrue(any("ts" in p for p in problems))
+
+
+class CompleteEvents(unittest.TestCase):
+    def test_x_needs_finite_nonnegative_dur(self):
+        ok = {"traceEvents": [ev(ph="X", dur=1.25)]}
+        self.assertEqual(validate_events(ok), [])
+        missing = {"traceEvents": [ev(ph="X")]}
+        self.assertTrue(any("dur" in p for p in validate_events(missing)))
+        negative = {"traceEvents": [ev(ph="X", dur=-0.5)]}
+        self.assertTrue(
+            any("negative dur" in p for p in validate_events(negative)))
+
+
+class DurationStacks(unittest.TestCase):
+    def test_matched_pairs_ok(self):
+        doc = {"traceEvents": [
+            ev("qmode", "B", ts=0.0), ev("qmode", "E", ts=4.0),
+            ev("bmode", "B", ts=4.0), ev("bmode", "E", ts=9.0)]}
+        self.assertEqual(validate_events(doc), [])
+
+    def test_nested_pairs_ok(self):
+        doc = {"traceEvents": [
+            ev("outer", "B", ts=0.0), ev("inner", "B", ts=1.0),
+            ev("inner", "E", ts=2.0), ev("outer", "E", ts=3.0)]}
+        self.assertEqual(validate_events(doc), [])
+
+    def test_e_without_b_reported(self):
+        doc = {"traceEvents": [ev("qmode", "E", ts=1.0)]}
+        self.assertTrue(
+            any("without a matching B" in p for p in validate_events(doc)))
+
+    def test_name_mismatch_reported(self):
+        doc = {"traceEvents": [ev("qmode", "B", ts=0.0),
+                               ev("bmode", "E", ts=1.0)]}
+        self.assertTrue(any("closes B" in p for p in validate_events(doc)))
+
+    def test_unclosed_b_at_eof_reported(self):
+        doc = {"traceEvents": [ev("qmode", "B", ts=0.0)]}
+        self.assertTrue(any("unclosed B" in p for p in validate_events(doc)))
+
+    def test_stacks_are_per_track(self):
+        doc = {"traceEvents": [ev("qmode", "B", tid=11, ts=0.0),
+                               ev("qmode", "E", tid=14, ts=1.0)]}
+        problems = validate_events(doc)
+        self.assertTrue(any("without a matching B" in p for p in problems))
+        self.assertTrue(any("unclosed B" in p for p in problems))
+
+
+class FileLevel(unittest.TestCase):
+    def test_valid_file_roundtrip(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = Path(d) / "t.trace.json"
+            p.write_text('{"traceEvents": [{"name": "a", "ph": "i", '
+                         '"pid": 1, "tid": 1, "ts": 0, "s": "t"}]}')
+            count, problems = validate_file(p)
+            self.assertEqual(problems, [])
+            self.assertEqual(count, 1)
+
+    def test_non_strict_json_file_fails(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = Path(d) / "t.trace.json"
+            p.write_text('{"traceEvents": [], "x": NaN}')
+            _, problems = validate_file(p)
+            self.assertTrue(any("strict JSON" in p2 for p2 in problems))
+
+    def test_missing_file_fails_gracefully(self):
+        _, problems = validate_file("/nonexistent/trace.json")
+        self.assertTrue(any("cannot read" in p for p in problems))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace_event JSON files emitted by the engine tracer.
+
+Strict on two levels:
+
+* **JSON**: the file must be RFC 8259 JSON — ``NaN``/``Infinity``
+  tokens (which ``json.loads`` accepts by default) are rejected, so a
+  serializer bug that leaks a non-finite double fails loudly here
+  rather than inside Perfetto.
+* **Trace schema**: the document must be the object form
+  (``{"traceEvents": [...]}``); every event needs ``name``/``ph``/
+  ``pid``/``tid``/``ts``; timestamps must be finite, non-negative, and
+  non-decreasing per ``(pid, tid)`` track; ``X`` events need a finite
+  ``dur >= 0``; ``B``/``E`` events must form a name-matched stack per
+  track with nothing left open at end of file.
+
+Usage:
+    tools/validate_trace.py TRACE.json [TRACE2.json ...]
+
+Exit status 0 when every file validates; 1 otherwise, with one line per
+problem. Import ``validate_events``/``validate_file`` for programmatic
+use (tools/test_validate_trace.py does).
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+# Phases the engine tracer (and this validator) knows. M is metadata
+# and exempt from timestamp rules; C (counter) is accepted for forward
+# compatibility with hand-edited traces.
+KNOWN_PHASES = {"B", "E", "X", "i", "I", "M", "C"}
+TIMED_PHASES = {"B", "E", "X", "i", "I", "C"}
+
+
+def _reject_constant(token):
+    raise ValueError(f"non-strict JSON token {token!r}")
+
+
+def load_strict(text):
+    """json.loads that rejects NaN/Infinity/-Infinity tokens."""
+    return json.loads(text, parse_constant=_reject_constant)
+
+
+def _is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_events(doc):
+    """Validate a parsed trace document; returns a list of problem
+    strings (empty == valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["top level is not an object ({'traceEvents': [...]})"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+
+    last_ts = {}  # (pid, tid) -> last seen timestamp
+    stacks = {}   # (pid, tid) -> open B-event name stack
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event is not an object")
+            continue
+
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing or empty 'name'")
+            name = "<unnamed>"
+
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in KNOWN_PHASES:
+            problems.append(f"{where} ({name}): unknown phase {ph!r}")
+            continue
+
+        for fld in ("pid", "tid"):
+            if not isinstance(ev.get(fld), int) or isinstance(
+                    ev.get(fld), bool):
+                problems.append(f"{where} ({name}): missing or non-integer "
+                                f"'{fld}'")
+        if ph == "M":
+            continue  # metadata: no timestamp rules
+
+        track = (ev.get("pid"), ev.get("tid"))
+        ts = ev.get("ts")
+        if not _is_number(ts) or not math.isfinite(ts):
+            problems.append(f"{where} ({name}): missing or non-finite 'ts'")
+            continue
+        if ts < 0:
+            problems.append(f"{where} ({name}): negative ts {ts}")
+        if ph in TIMED_PHASES:
+            prev = last_ts.get(track)
+            if prev is not None and ts < prev:
+                problems.append(
+                    f"{where} ({name}): ts {ts} goes backwards on track "
+                    f"pid={track[0]} tid={track[1]} (previous {prev})")
+            last_ts[track] = ts
+
+        if ph == "X":
+            dur = ev.get("dur")
+            if not _is_number(dur) or not math.isfinite(dur):
+                problems.append(
+                    f"{where} ({name}): X event needs a finite 'dur'")
+            elif dur < 0:
+                problems.append(f"{where} ({name}): negative dur {dur}")
+        elif ph == "B":
+            stacks.setdefault(track, []).append(name)
+        elif ph == "E":
+            stack = stacks.setdefault(track, [])
+            if not stack:
+                problems.append(
+                    f"{where} ({name}): E without a matching B on track "
+                    f"pid={track[0]} tid={track[1]}")
+            else:
+                top = stack.pop()
+                if top != name:
+                    problems.append(
+                        f"{where}: E '{name}' closes B '{top}' on track "
+                        f"pid={track[0]} tid={track[1]}")
+
+    for (pid, tid), stack in sorted(
+            stacks.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))):
+        for name in stack:
+            problems.append(f"unclosed B '{name}' on track pid={pid} "
+                            f"tid={tid} at end of trace")
+    return problems
+
+
+def validate_file(path):
+    """Validate one trace file; returns (event_count, problems)."""
+    try:
+        text = Path(path).read_text(encoding="utf-8", errors="strict")
+    except OSError as e:
+        return 0, [f"cannot read: {e}"]
+    except UnicodeDecodeError as e:
+        return 0, [f"not valid UTF-8: {e}"]
+    try:
+        doc = load_strict(text)
+    except ValueError as e:
+        return 0, [f"not strict JSON: {e}"]
+    problems = validate_events(doc)
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    return (len(events) if isinstance(events, list) else 0), problems
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate Chrome trace_event JSON files")
+    ap.add_argument("files", nargs="+", metavar="TRACE.json")
+    args = ap.parse_args()
+
+    bad = 0
+    for path in args.files:
+        count, problems = validate_file(path)
+        if problems:
+            bad += 1
+            print(f"FAIL {path}")
+            for p in problems[:50]:
+                print(f"  {p}")
+            if len(problems) > 50:
+                print(f"  ... and {len(problems) - 50} more")
+        else:
+            print(f"ok   {path} ({count} events)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
