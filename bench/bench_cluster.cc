@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Rack-scale ingress steering bench (beyond the paper): the
+ * rack-web-search preset — four 2-core Stretch nodes behind an ingress
+ * balancer, bursty search/analytics mix with a heavy-tailed bulk
+ * class — swept over the four ingress policies, in steady state and
+ * through a mid-run node failure.
+ *
+ * Expected trend: load-aware JSQ(2) holds the post-failure fleet p99
+ * several-fold under blind round-robin on the identical arrival stream
+ * (the surviving nodes' backlog signals steer work around transiently
+ * pinned nodes), while the affinity policies trade tail for locality.
+ * This is the two-layer RackSched blueprint: inter-server steering
+ * composed on top of intra-server Stretch mode control.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "scenario/presets.h"
+#include "scenario/scenario.h"
+#include "sim/op_point_cache.h"
+
+using namespace stretch;
+using namespace stretch::bench;
+
+namespace
+{
+
+struct PolicyCase
+{
+    const char *label;
+    cluster::IngressPolicy policy;
+};
+
+const std::vector<PolicyCase> kPolicies = {
+    {"round-robin", cluster::IngressPolicy::RoundRobin},
+    {"jsq(2)", cluster::IngressPolicy::Jsq},
+    {"flow-affinity", cluster::IngressPolicy::FlowAffinity},
+    {"class-aware", cluster::IngressPolicy::ClassAware},
+};
+
+scenario::Scenario
+buildScenario(const Options &opt, cluster::IngressPolicy policy)
+{
+    scenario::Scenario s = scenario::preset("rack-web-search");
+    s.ingress.policy = policy;
+    if (opt.quick)
+        s.requests /= 4;
+    else if (opt.paper)
+        s.requests *= 2;
+    return s;
+}
+
+double
+attainment(const sim::FleetResult &r, const std::string &cls)
+{
+    for (const sim::ClassOutcome &c : r.dispatch.perClass)
+        if (c.name == cls)
+            return c.sloAttainment;
+    return 0.0;
+}
+
+/** Worst per-bucket p99 over buckets starting at or after @p fromMs. */
+double
+worstBucketP99(const sim::FleetResult &r, double fromMs)
+{
+    double worst = 0.0;
+    for (const sim::TimelineBucket &b : r.dispatch.timeline)
+        if (b.startMs >= fromMs && b.p99Ms > worst)
+            worst = b.p99Ms;
+    return worst;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    // Resolve the rack-wide rate once (identical across policies) so
+    // the failure time and timeline buckets line up in every row.
+    cluster::ClusterConfig quiet = scenario::lowerRack(
+        buildScenario(opt, cluster::IngressPolicy::Jsq));
+    const double horizonMs =
+        static_cast<double>(quiet.requests) / quiet.arrivalRatePerMs;
+    const double failAtMs = 0.5 * horizonMs;
+
+    stats::Table steady("Cluster steering, steady state: 4x2-core rack, "
+                        "bursty search + heavy-tailed analytics");
+    steady.setHeader({"ingress", "p50 ms", "p99 ms", "p99.9 ms", "kreq/s",
+                      "search att.", "analytics att.", "spillovers",
+                      "signal age ms"});
+
+    stats::Table failure("Node failure at t=50%: one of four nodes dies, "
+                         "queue fails over, survivors absorb the stream");
+    failure.setHeader({"ingress", "p99 ms", "post-fail worst p99 ms",
+                       "search att.", "failovers", "shed"});
+
+    for (const PolicyCase &pc : kPolicies) {
+        scenario::Scenario s = buildScenario(opt, pc.policy);
+        s.timelineBucketMs = horizonMs / 24.0;
+
+        cluster::ClusterResult r = scenario::runRack(s);
+        const sim::DispatchOutcome &d = r.merged.dispatch;
+        steady.addRow(
+            {pc.label, stats::Table::num(d.latencyMs.median, 3),
+             stats::Table::num(d.latencyMs.p99, 3),
+             stats::Table::num(d.latencyMs.p999, 3),
+             stats::Table::num(d.throughputRps / 1000.0, 1),
+             stats::Table::pct(attainment(r.merged, "search")),
+             stats::Table::pct(attainment(r.merged, "analytics")),
+             std::to_string(r.ingress.spillovers),
+             stats::Table::num(r.ingress.signalStalenessMs.mean(), 3)});
+
+        scenario::Scenario wounded = buildScenario(opt, pc.policy);
+        wounded.timelineBucketMs = horizonMs / 24.0;
+        wounded.incidents.push_back(scenario::NodeFailure{3, failAtMs});
+
+        cluster::ClusterResult f = scenario::runRack(wounded);
+        failure.addRow(
+            {pc.label, stats::Table::num(f.merged.dispatch.latencyMs.p99, 3),
+             stats::Table::num(worstBucketP99(f.merged, failAtMs), 3),
+             stats::Table::pct(attainment(f.merged, "search")),
+             std::to_string(f.ingress.failovers),
+             std::to_string(f.merged.dispatch.totalShed)});
+
+        std::fprintf(stderr, "cluster: %s done\n", pc.label);
+    }
+
+    emit(steady, opt);
+    emit(failure, opt);
+
+    stats::Table notes("Reading the trend");
+    notes.setHeader({"comparison", "expectation"});
+    notes.addRow({"jsq(2) vs round-robin, post-failure",
+                  "several-fold lower worst-bucket p99: stale backlog "
+                  "signals still beat load-blind spraying"});
+    notes.addRow({"affinity vs jsq(2)",
+                  "class locality costs tail; spillover bounds the "
+                  "damage under backlog"});
+    emit(notes, opt);
+
+    // All four policies share identical node hardware, so the
+    // operating-point cache measures one node and answers for every
+    // run — the receipt that the sweep paid for steering, not
+    // re-measurement.
+    const sim::OperatingPointCache &cache =
+        sim::OperatingPointCache::instance();
+    std::fprintf(stderr,
+                 "cluster: operating points measured %llu, reused %llu\n",
+                 static_cast<unsigned long long>(cache.misses()),
+                 static_cast<unsigned long long>(cache.hits()));
+    return 0;
+}

@@ -19,6 +19,7 @@
 
 #include "bp/branch_unit.h"
 #include "cache/memory_hierarchy.h"
+#include "cluster/cluster.h"
 #include "core/smt_core.h"
 #include "queueing/arrivals.h"
 #include "queueing/event_engine.h"
@@ -312,6 +313,35 @@ BM_DispatchEightCoreFleet(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * cfg.requests);
 }
 BENCHMARK(BM_DispatchEightCoreFleet);
+
+/** Whole-rack run end-to-end: JSQ(2) ingress steering over four 2-core
+ *  nodes plus the per-node engines — the cost the cluster layer adds
+ *  per simulated request. Node operating points are measured once (the
+ *  process-wide cache) so iterations time steering + node execution,
+ *  not calibration. */
+void
+BM_ClusterJsq2FourNodes(benchmark::State &state)
+{
+    sim::RunConfig core;
+    core.workload0 = "web_search";
+    core.workload1 = "zeusmp";
+    core.samples = 2;
+    core.warmupOps = 2000;
+    core.measureOps = 5000;
+    cluster::ClusterConfig cfg =
+        cluster::homogeneousCluster(4, sim::homogeneousFleet(2, core));
+    cfg.requests = engineRequests / 4;
+    cfg.burstRatio = 2.0;
+    cfg.ingress.policy = cluster::IngressPolicy::Jsq;
+    cfg.ingress.probes = 2;
+    cfg.threads = 1; // serial: time the work, not the pool
+    for (auto _ : state) {
+        cluster::ClusterResult out = cluster::runCluster(cfg);
+        benchmark::DoNotOptimize(out.merged.dispatch.elapsedMs);
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.requests);
+}
+BENCHMARK(BM_ClusterJsq2FourNodes);
 
 } // namespace
 

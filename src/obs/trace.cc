@@ -144,12 +144,13 @@ namespace
 
 /** Emit one M metadata event naming a thread track. */
 void
-threadName(JsonWriter &w, std::uint32_t tid, const std::string &name)
+threadName(JsonWriter &w, std::int64_t pid, std::uint32_t tid,
+           const std::string &name)
 {
     w.beginObject();
     w.field("name", "thread_name");
     w.field("ph", "M");
-    w.field("pid", std::int64_t{1});
+    w.field("pid", pid);
     w.field("tid", static_cast<std::int64_t>(tid));
     w.key("args");
     w.beginObject();
@@ -167,7 +168,7 @@ EngineTracer::writeEvent(JsonWriter &w, const TraceEvent &e) const
     w.field("name", e.name);
     const char ph[2] = {static_cast<char>(e.ph), '\0'};
     w.field("ph", static_cast<const char *>(ph));
-    w.field("pid", std::int64_t{1});
+    w.field("pid", pid_);
     w.field("tid", static_cast<std::int64_t>(e.tid));
     // Trace-event ts is in microseconds; the simulator clock is in ms.
     w.field("ts", e.tsMs * 1000.0);
@@ -192,37 +193,47 @@ EngineTracer::writeEvent(JsonWriter &w, const TraceEvent &e) const
 }
 
 void
+EngineTracer::writeMetadata(JsonWriter &w) const
+{
+    // Process + one name per track so Perfetto shows labeled rows
+    // instead of bare pids/tids.
+    w.beginObject();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", pid_);
+    w.field("tid", std::int64_t{0});
+    w.key("args");
+    w.beginObject();
+    w.field("name", std::string_view(procName));
+    w.endObject();
+    w.endObject();
+    threadName(w, pid_, admissionTid, "admission");
+    threadName(w, pid_, quantaTid, "quanta");
+    threadName(w, pid_, incidentsTid, "incidents");
+    for (std::size_t c = 0; c < cores; ++c) {
+        const std::string label = "core " + std::to_string(c);
+        threadName(w, pid_, requestsTid(c), label + " requests");
+        threadName(w, pid_, modeTid(c), label + " mode");
+        threadName(w, pid_, throttleTid(c), label + " throttle");
+    }
+}
+
+void
+EngineTracer::writeEvents(JsonWriter &w) const
+{
+    for (const TraceEvent &e : ev)
+        writeEvent(w, e);
+}
+
+void
 EngineTracer::writeTo(std::ostream &os) const
 {
     JsonWriter w;
     w.beginObject();
     w.key("traceEvents");
     w.beginArray();
-
-    // Metadata first: process + one name per track so Perfetto shows
-    // labeled rows instead of bare tids.
-    w.beginObject();
-    w.field("name", "process_name");
-    w.field("ph", "M");
-    w.field("pid", std::int64_t{1});
-    w.field("tid", std::int64_t{0});
-    w.key("args");
-    w.beginObject();
-    w.field("name", "stretch fleet");
-    w.endObject();
-    w.endObject();
-    threadName(w, admissionTid, "admission");
-    threadName(w, quantaTid, "quanta");
-    threadName(w, incidentsTid, "incidents");
-    for (std::size_t c = 0; c < cores; ++c) {
-        const std::string label = "core " + std::to_string(c);
-        threadName(w, requestsTid(c), label + " requests");
-        threadName(w, modeTid(c), label + " mode");
-        threadName(w, throttleTid(c), label + " throttle");
-    }
-
-    for (const TraceEvent &e : ev)
-        writeEvent(w, e);
+    writeMetadata(w);
+    writeEvents(w);
     w.endArray();
 
     w.field("displayTimeUnit", "ms");
@@ -291,6 +302,57 @@ EngineTracer::writeWindow(JsonWriter &w, double from_ms,
         writeEvent(w, ev[i]);
     }
     w.endArray();
+}
+
+void
+writeClusterTrace(const std::vector<const EngineTracer *> &tracers,
+                  std::ostream &os)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    std::uint64_t events = 0;
+    std::uint64_t cores = 0;
+    for (const EngineTracer *t : tracers) {
+        t->writeMetadata(w);
+        events += t->events().size();
+        cores += t->coreCount();
+    }
+    for (const EngineTracer *t : tracers)
+        t->writeEvents(w);
+    w.endArray();
+
+    w.field("displayTimeUnit", "ms");
+    w.key("otherData");
+    w.beginObject();
+    w.field("schemaVersion", std::int64_t{1});
+    w.field("kind", "trace");
+    w.field("generator", "stretch");
+    w.field("nodes", static_cast<std::uint64_t>(tracers.size()));
+    w.field("cores", cores);
+    w.field("events", events);
+    w.endObject();
+    w.endObject();
+    os << w.str();
+}
+
+bool
+writeClusterTraceFile(const std::vector<const EngineTracer *> &tracers,
+                      const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        STRETCH_WARN("cannot open trace sink '", path, "'");
+        return false;
+    }
+    writeClusterTrace(tracers, os);
+    os.flush();
+    if (!os) {
+        STRETCH_WARN("short write on trace sink '", path, "'");
+        return false;
+    }
+    return true;
 }
 
 } // namespace stretch::obs

@@ -20,7 +20,8 @@
  * placement, so traced and untraced runs are bit-identical in results
  * (property-tested in tests/test_obs.cc).
  *
- * Track layout (one trace per run, pid 1):
+ * Track layout (one process group per tracer; pid 1 for a single-node
+ * run, pid j+1 for cluster node j — see `writeClusterTrace`):
  *   - tid 1 "admission": `i` instants `arrival` / `shed`, one per
  *     request, at the arrival timestamp.
  *   - tid 2 "quanta": `i` instant `quantum` at every control boundary.
@@ -102,7 +103,7 @@ class EngineTracer
     /** @param cores server count of the traced engine (track naming). */
     explicit EngineTracer(std::size_t cores);
 
-    /// @name Track ids (pid is always 1).
+    /// @name Track ids (within one process group; see setProcess).
     /// @{
     static constexpr std::uint32_t admissionTid = 1;
     static constexpr std::uint32_t quantaTid = 2;
@@ -144,6 +145,22 @@ class EngineTracer
     void throttleEnd(std::size_t core, double ts_ms);
     /// @}
 
+    /**
+     * Trace-event process identity for everything this tracer writes.
+     * The default (pid 1, "stretch fleet") is the historical
+     * single-node layout; the cluster layer gives node j's tracer
+     * pid j+1 and a per-node name, so a merged rack trace shows one
+     * labeled process group per node (see `writeClusterTrace`).
+     */
+    void
+    setProcess(std::int64_t pid, std::string name)
+    {
+        pid_ = pid;
+        procName = std::move(name);
+    }
+    std::int64_t pid() const { return pid_; }
+    const std::string &processName() const { return procName; }
+
     /** Every recorded event, in recording order. */
     const std::vector<TraceEvent> &events() const { return ev; }
 
@@ -168,12 +185,39 @@ class EngineTracer
      */
     void writeWindow(JsonWriter &w, double from_ms, double until_ms) const;
 
+    /// @name Raw-array emission (used by the cluster trace merge).
+    /// Append this tracer's track-name metadata / buffered events to an
+    /// already-open JSON array, all under this tracer's pid.
+    /// @{
+    void writeMetadata(JsonWriter &w) const;
+    void writeEvents(JsonWriter &w) const;
+    /// @}
+
   private:
     void writeEvent(JsonWriter &w, const TraceEvent &e) const;
 
     std::size_t cores;
+    std::int64_t pid_ = 1;
+    std::string procName = "stretch fleet";
     std::vector<TraceEvent> ev;
 };
+
+/**
+ * Merge several tracers' buffers into ONE Chrome trace document: each
+ * tracer contributes its own process group (distinguish them up front
+ * with `setProcess`), so a rack run opens in Perfetto as N labeled
+ * node groups, each with the full per-core track layout. Events stay
+ * in per-tracer recording order — monotone per (pid, tid) track, which
+ * is all the trace schema requires.
+ */
+void writeClusterTrace(const std::vector<const EngineTracer *> &tracers,
+                       std::ostream &os);
+
+/** `writeClusterTrace` to a file; warns and returns false on I/O
+ *  failure (a failed artifact write must not kill a finished run). */
+bool writeClusterTraceFile(
+    const std::vector<const EngineTracer *> &tracers,
+    const std::string &path);
 
 /**
  * Tracing wrapper over an engine policy (see the file header).

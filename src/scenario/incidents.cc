@@ -63,6 +63,14 @@ incidentName(const Incident &incident)
         {
             return "slo-reshuffle";
         }
+        const char *operator()(const NodeDegradation &)
+        {
+            return "node-degradation";
+        }
+        const char *operator()(const NodeFailure &)
+        {
+            return "node-failure";
+        }
     };
     return std::visit(Namer{}, incident);
 }
@@ -81,6 +89,8 @@ incidentStartMs(const Incident &incident)
         double operator()(const CoreDegradation &i) { return i.atMs; }
         double operator()(const CoreFailure &i) { return i.atMs; }
         double operator()(const SloReshuffle &i) { return i.atMs; }
+        double operator()(const NodeDegradation &i) { return i.atMs; }
+        double operator()(const NodeFailure &i) { return i.atMs; }
     };
     return std::visit(Start{}, incident);
 }
@@ -99,6 +109,11 @@ incidentEndMs(const Incident &incident)
         }
         double operator()(const CoreFailure &i) { return i.atMs; }
         double operator()(const SloReshuffle &i) { return i.atMs; }
+        double operator()(const NodeDegradation &i)
+        {
+            return i.restoreMs > 0.0 ? i.restoreMs : i.atMs;
+        }
+        double operator()(const NodeFailure &i) { return i.atMs; }
     };
     return std::visit(End{}, incident);
 }
@@ -133,6 +148,12 @@ scaleIncidentTimes(std::vector<Incident> &incidents, double factor)
         }
         void operator()(CoreFailure &i) const { i.atMs *= f; }
         void operator()(SloReshuffle &i) const { i.atMs *= f; }
+        void operator()(NodeDegradation &i) const
+        {
+            i.atMs *= f;
+            i.restoreMs *= f;
+        }
+        void operator()(NodeFailure &i) const { i.atMs *= f; }
     };
     for (Incident &incident : incidents)
         std::visit(Scale{factor}, incident);
@@ -168,6 +189,36 @@ incidentErrors(const Scenario &s)
             }
         }
 
+        /** Node-scoped incidents need a rack and a valid node index. */
+        void
+        node(const std::string &who, std::size_t n) const
+        {
+            if (s.nodes <= 1) {
+                errors.push_back(who + " needs a rack scenario: call "
+                                       "nodes(n) with n > 1");
+            } else if (n >= s.nodes) {
+                errors.push_back(who + " targets node " + std::to_string(n) +
+                                 " but the rack has " +
+                                 std::to_string(s.nodes) + " nodes");
+            }
+        }
+
+        /** Dispatcher/core-scoped incidents are single-fleet only: the
+         *  rack path replays pre-steered arrivals into every node, so
+         *  ingress-side load shaping and per-node core incidents have
+         *  no compilation target there (FlashCrowd compiles to an
+         *  ingress ArrivalScale instead). */
+        void
+        singleNodeOnly(const std::string &who) const
+        {
+            if (s.nodes > 1) {
+                errors.push_back(who + " is not supported in rack "
+                                       "scenarios (nodes > 1): use "
+                                       "node-degradation / node-failure / "
+                                       "flash-crowd");
+            }
+        }
+
         void
         window(const std::string &who, double start, double end) const
         {
@@ -190,6 +241,7 @@ incidentErrors(const Scenario &s)
         void operator()(const RetryStorm &i) const
         {
             std::string w = who(i);
+            singleNodeOnly(w);
             window(w, i.startMs, i.endMs);
             if (i.amplification < 0.0)
                 errors.push_back(w + " needs amplification >= 0 (got " +
@@ -209,6 +261,7 @@ incidentErrors(const Scenario &s)
         void operator()(const AntagonistPhaseChange &i) const
         {
             std::string w = who(i);
+            singleNodeOnly(w);
             core(w, i.core);
             window(w, i.startMs, i.endMs);
             if (i.capacityFactor <= 0.0)
@@ -218,6 +271,7 @@ incidentErrors(const Scenario &s)
         void operator()(const CoreDegradation &i) const
         {
             std::string w = who(i);
+            singleNodeOnly(w);
             core(w, i.core);
             if (i.atMs < 0.0)
                 errors.push_back(w + " starts before time 0");
@@ -232,6 +286,7 @@ incidentErrors(const Scenario &s)
         void operator()(const CoreFailure &i) const
         {
             std::string w = who(i);
+            singleNodeOnly(w);
             core(w, i.core);
             if (i.atMs < 0.0)
                 errors.push_back(w + " fails before time 0");
@@ -239,6 +294,7 @@ incidentErrors(const Scenario &s)
         void operator()(const SloReshuffle &i) const
         {
             std::string w = who(i);
+            singleNodeOnly(w);
             if (i.atMs < 0.0)
                 errors.push_back(w + " reshuffles before time 0");
             bool found = false;
@@ -253,18 +309,46 @@ incidentErrors(const Scenario &s)
                                      "positive factor");
             }
         }
+        void operator()(const NodeDegradation &i) const
+        {
+            std::string w = who(i);
+            node(w, i.node);
+            if (i.atMs < 0.0)
+                errors.push_back(w + " starts before time 0");
+            if (i.capacityFactor <= 0.0)
+                errors.push_back(w + " needs a positive capacity factor "
+                                     "(got " + num(i.capacityFactor) + ")");
+            if (i.restoreMs != 0.0 && i.restoreMs <= i.atMs)
+                errors.push_back(w + " restores at " + num(i.restoreMs) +
+                                 " ms, before it degrades (" + num(i.atMs) +
+                                 " ms); use 0 for never");
+        }
+        void operator()(const NodeFailure &i) const
+        {
+            std::string w = who(i);
+            node(w, i.node);
+            if (i.atMs < 0.0)
+                errors.push_back(w + " fails before time 0");
+        }
     };
 
     std::size_t failures = 0;
+    std::size_t nodeFailures = 0;
     for (std::size_t i = 0; i < s.incidents.size(); ++i) {
         std::visit(Check{s, cores, i, errors}, s.incidents[i]);
         if (std::holds_alternative<CoreFailure>(s.incidents[i]))
             ++failures;
+        if (std::holds_alternative<NodeFailure>(s.incidents[i]))
+            ++nodeFailures;
     }
     if (!cores || failures >= cores) {
         if (failures > 0)
             errors.push_back("incidents fail every core in the fleet: at "
                              "least one core must survive");
+    }
+    if (nodeFailures > 0 && nodeFailures >= s.nodes) {
+        errors.push_back("incidents fail every node in the rack: at least "
+                         "one node must survive");
     }
     return errors;
 }
@@ -348,6 +432,12 @@ compileIncidents(const Scenario &s)
                                 : i.factor * s.classes.at(id).sloMs;
             emit(Kind::ClassSloRetarget, i.atMs, target, 0.0, 0, id);
         }
+        // Node-scoped incidents compile to ingress NodeActions in the
+        // rack lowering path (scenario::lowerRack), never to dispatcher
+        // actions — and incidentErrors already rejected them for
+        // single-fleet scenarios, so these arms are unreachable here.
+        void operator()(const NodeDegradation &) const {}
+        void operator()(const NodeFailure &) const {}
     };
 
     for (const Incident &incident : s.incidents)

@@ -130,9 +130,39 @@ struct SloReshuffle
     double newSloMs = 0.0; ///< absolute new target (overrides factor)
 };
 
+/**
+ * Partial degradation of one whole *node* in a rack scenario (a shared
+ * power cap, a failing NIC): every core of the node serves at
+ * `capacityFactor` x nominal from `atMs` on, restored at `restoreMs`
+ * (0 = never). The ingress discounts the node's fluid drain rate at
+ * the same instant, so the steering signal and the engine degrade
+ * together. Rack scenarios (nodes > 1) only.
+ */
+struct NodeDegradation
+{
+    std::size_t node = 0;
+    double atMs = 0.0;
+    double capacityFactor = 0.5;
+    double restoreMs = 0.0; ///< 0 = degraded for the rest of the run
+};
+
+/**
+ * Outright loss of one node at `atMs`: the ingress marks it dead
+ * immediately, re-steers its queued work to live nodes (each request
+ * pays the failover delay end to end), and routes nothing to it
+ * afterwards; work already started drains in place (connection-drain
+ * semantics). Rack scenarios (nodes > 1) only.
+ */
+struct NodeFailure
+{
+    std::size_t node = 0;
+    double atMs = 0.0;
+};
+
 /** Any one typed incident. */
 using Incident = std::variant<FlashCrowd, RetryStorm, AntagonistPhaseChange,
-                              CoreDegradation, CoreFailure, SloReshuffle>;
+                              CoreDegradation, CoreFailure, SloReshuffle,
+                              NodeDegradation, NodeFailure>;
 
 /** Human-readable incident-kind name (kebab-case, stable for labels). */
 const char *incidentName(const Incident &incident);

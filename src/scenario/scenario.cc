@@ -13,6 +13,7 @@
 #include "obs/trace.h"
 #include "sim/op_point_cache.h"
 #include "util/log.h"
+#include "util/seed_stream.h"
 #include "util/thread_pool.h"
 
 namespace stretch::scenario
@@ -151,7 +152,7 @@ ScenarioBuilder::cores(unsigned n, const sim::RunConfig &base)
     draft.cores.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
         sim::RunConfig core = base;
-        core.seed = mixSeed(base.seed, i);
+        core.seed = util::deriveSeed(base.seed, i);
         draft.cores.push_back(std::move(core));
     }
     // Adopt the base seed for the dispatch streams too (the
@@ -185,6 +186,27 @@ ScenarioBuilder::coRunner(std::size_t index, std::string workload)
                    "coRunner(", index, ") before a core with that index "
                    "exists: add the topology first");
     draft.cores[index].workload1 = std::move(workload);
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::nodes(unsigned n)
+{
+    draft.nodes = n;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::ingress(cluster::IngressConfig cfg)
+{
+    draft.ingress = cfg;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::ingressPolicy(cluster::IngressPolicy policy)
+{
+    draft.ingress.policy = policy;
     return *this;
 }
 
@@ -426,6 +448,35 @@ ScenarioBuilder::tryBuild() const
             ") are not index-matched to cores (" +
             std::to_string(draft.cores.size()) +
             "): pass one CoreSlot per core or none");
+    }
+
+    // --- Rack -----------------------------------------------------------
+    if (draft.nodes == 0)
+        errors.push_back("nodes(0): a scenario needs at least one node");
+    if (draft.nodes > 1) {
+        if (draft.trace) {
+            errors.push_back("rack scenarios (nodes > 1) replay no diurnal "
+                             "trace at the ingress: drop diurnal(...) or "
+                             "nodes(n)");
+        }
+        if (draft.ingress.signalDelayMs < 0.0)
+            errors.push_back("ingress signal delay must be >= 0 ms (got " +
+                             num(draft.ingress.signalDelayMs) + ")");
+        if (draft.ingress.migrateSojournMs < 0.0)
+            errors.push_back("ingress migration threshold must be >= 0 ms "
+                             "(0 = off; got " +
+                             num(draft.ingress.migrateSojournMs) + ")");
+        if (draft.ingress.migrationCostMs < 0.0 ||
+            draft.ingress.failoverDelayMs < 0.0)
+            errors.push_back("ingress migration/failover costs must be "
+                             ">= 0 ms");
+        if (draft.ingress.virtualNodesPerNode < 1)
+            errors.push_back("the ingress affinity ring needs at least one "
+                             "point per node");
+        if (draft.ingress.spilloverBacklogMs <= 0.0)
+            errors.push_back("the ingress spillover threshold must be "
+                             "positive (got " +
+                             num(draft.ingress.spilloverBacklogMs) + " ms)");
     }
 
     // --- Traffic --------------------------------------------------------
@@ -687,6 +738,9 @@ lowerQuiet(const Scenario &s)
 sim::FleetConfig
 lower(const Scenario &s)
 {
+    STRETCH_ASSERT(s.nodes <= 1, "scenario '", s.name, "' is a rack "
+                   "(nodes > 1): lower it with lowerRack and run it with "
+                   "runRack");
     sim::FleetConfig fleet = lowerQuiet(s);
     if (!s.incidents.empty()) {
         // A retry storm's auto-derived lateness threshold must see the
@@ -698,6 +752,150 @@ lower(const Scenario &s)
         fleet.incidents = compileIncidents(resolved);
     }
     return fleet;
+}
+
+namespace
+{
+
+/**
+ * Compile a rack scenario's incidents to ingress `NodeAction`s (the
+ * rack twin of `compileIncidents`; fatal on invalid incidents). Only
+ * FlashCrowd / NodeDegradation / NodeFailure reach here — the
+ * validator rejects dispatcher/core-scoped kinds for nodes > 1.
+ * `runCluster` applies list order as the tiebreak at equal times, the
+ * same rule the dispatcher uses.
+ */
+std::vector<cluster::NodeAction>
+compileRackActions(const Scenario &s)
+{
+    std::vector<std::string> errors = incidentErrors(s);
+    if (!errors.empty()) {
+        std::string joined;
+        for (const std::string &e : errors) {
+            if (!joined.empty())
+                joined += "; ";
+            joined += e;
+        }
+        STRETCH_FATAL("invalid incidents in rack scenario '", s.name,
+                      "': ", joined);
+    }
+
+    using Kind = cluster::NodeAction::Kind;
+    std::vector<cluster::NodeAction> actions;
+    auto push = [&](Kind kind, double at, std::size_t node, double value) {
+        cluster::NodeAction a;
+        a.kind = kind;
+        a.atMs = at;
+        a.node = node;
+        a.value = value;
+        actions.push_back(a);
+    };
+    for (const Incident &incident : s.incidents) {
+        if (const FlashCrowd *i = std::get_if<FlashCrowd>(&incident)) {
+            push(Kind::ArrivalScale, i->startMs, 0, i->factor);
+            push(Kind::ArrivalScale, i->endMs, 0, 1.0);
+        } else if (const NodeDegradation *i =
+                       std::get_if<NodeDegradation>(&incident)) {
+            push(Kind::NodeDegrade, i->atMs, i->node, i->capacityFactor);
+            if (i->restoreMs > 0.0)
+                push(Kind::NodeDegrade, i->restoreMs, i->node, 1.0);
+        } else if (const NodeFailure *i =
+                       std::get_if<NodeFailure>(&incident)) {
+            push(Kind::NodeFail, i->atMs, i->node, 1.0);
+        } else {
+            STRETCH_FATAL("incident kind '", incidentName(incident),
+                          "' cannot compile to an ingress action");
+        }
+    }
+    return actions;
+}
+
+} // namespace
+
+cluster::ClusterConfig
+lowerRack(const Scenario &s)
+{
+    STRETCH_ASSERT(s.nodes > 1, "lowerRack needs a rack scenario: call "
+                   "nodes(n) with n > 1");
+    STRETCH_ASSERT(!s.trace,
+                   "rack scenarios do not support diurnal replay");
+
+    // The per-node fleet is the scenario lowered as ONE node with no
+    // arrival rate of its own (the ingress owns arrivals and steers an
+    // injected list into each node) and no incidents (node incidents
+    // compile to ingress actions below). Relative QoS targets still
+    // resolve here against the shared calibration probe.
+    Scenario nodeScenario = s;
+    nodeScenario.nodes = 1;
+    nodeScenario.incidents.clear();
+    nodeScenario.arrivalRatePerMs = 0.0;
+    nodeScenario.meanLoadFraction = 0.0;
+    nodeScenario.peakLoadFraction = 0.0;
+    nodeScenario.dayRequests = false;
+    nodeScenario.reportPath.clear();
+    nodeScenario.tracePath.clear();
+    sim::FleetConfig node = lowerQuiet(nodeScenario);
+
+    cluster::ClusterConfig cfg = cluster::homogeneousCluster(s.nodes, node);
+    cfg.ingress = s.ingress;
+    cfg.requests = s.requests; // scenario requests are rack-wide already
+    cfg.seed = s.seed;
+    cfg.threads = s.threads;
+    cfg.timelineBucketMs = s.timelineBucketMs;
+
+    // Rate resolution: an explicit rate is rack-wide as given; load
+    // fractions resolve against the summed node capacities (the
+    // memoised calibration probe measures one node; homogeneous racks
+    // multiply). Neither set leaves 0 — runCluster's 70%-of-measured
+    // default.
+    if (s.arrivalRatePerMs > 0.0) {
+        cfg.arrivalRatePerMs = s.arrivalRatePerMs;
+    } else {
+        const double fraction =
+            std::max(s.meanLoadFraction, s.peakLoadFraction);
+        if (fraction > 0.0)
+            cfg.arrivalRatePerMs =
+                fraction * calibrate(nodeScenario).capacityPerMs * s.nodes;
+    }
+
+    cfg.actions = compileRackActions(s);
+    return cfg;
+}
+
+cluster::ClusterResult
+runRack(const Scenario &s)
+{
+    cluster::ClusterConfig cfg = lowerRack(s);
+
+    std::vector<std::unique_ptr<obs::EngineTracer>> tracers;
+    std::unique_ptr<obs::MetricRegistry> metrics;
+    if (!s.tracePath.empty()) {
+        for (const sim::FleetConfig &node : cfg.nodes) {
+            tracers.push_back(
+                std::make_unique<obs::EngineTracer>(node.cores.size()));
+            cfg.nodeTracers.push_back(tracers.back().get());
+        }
+    }
+    if (!s.reportPath.empty()) {
+        metrics = std::make_unique<obs::MetricRegistry>();
+        cfg.metrics = metrics.get();
+    }
+
+    cluster::ClusterResult result = cluster::runCluster(cfg);
+
+    if (!s.tracePath.empty()) {
+        std::vector<const obs::EngineTracer *> taps;
+        taps.reserve(tracers.size());
+        for (const std::unique_ptr<obs::EngineTracer> &t : tracers)
+            taps.push_back(t.get());
+        obs::writeClusterTraceFile(taps, s.tracePath);
+    }
+    if (!s.reportPath.empty()) {
+        obs::RunReport rep =
+            makeReport(s, result.merged, metrics.get(), nullptr);
+        obs::writeReportFile(s.reportPath, rep);
+    }
+    return result;
 }
 
 InstrumentedRun::InstrumentedRun() = default;
@@ -737,6 +935,10 @@ makeReport(const Scenario &s, const sim::FleetResult &result,
     // way the builder took it (relative quantities stay relative — the
     // hash should identify the *experiment*, not its calibration).
     r.addConfig("cores", static_cast<std::uint64_t>(s.cores.size()));
+    if (s.nodes > 1) {
+        r.addConfig("nodes", static_cast<std::uint64_t>(s.nodes));
+        r.addConfig("ingressPolicy", cluster::toString(s.ingress.policy));
+    }
     r.addConfig("requests", s.requests);
     if (s.dayRequests)
         r.addConfig("dayRequests", "true");
@@ -801,6 +1003,11 @@ writeRunArtifacts(const Scenario &s, const InstrumentedRun &r)
 sim::FleetResult
 run(const Scenario &s)
 {
+    // Rack scenarios route through the cluster layer; the merged
+    // cluster-level view is fleet-shaped, so sweeps and reports work
+    // unchanged. runRack writes any requested artifacts itself.
+    if (s.nodes > 1)
+        return std::move(runRack(s).merged);
     // Fast path: no artifacts requested means no tracer and no registry
     // anywhere near the dispatch loop.
     if (s.reportPath.empty() && s.tracePath.empty())

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "obs/report.h"
 #include "scenario/incidents.h"
 #include "sim/fleet.h"
@@ -69,6 +70,14 @@ struct Scenario
     std::vector<sim::RunConfig> cores;
     /** Optional per-slot physical overrides (empty or index-matched). */
     std::vector<sim::CoreSlot> slots;
+    /** Rack width: 1 = a single fleet (the historical path); > 1
+     *  replicates the cores topology onto every node of a cluster
+     *  behind the ingress (`runRack`). `requests` and rate fields
+     *  then describe the whole rack, and load fractions resolve
+     *  against the summed node capacities. */
+    unsigned nodes = 1;
+    /** Ingress steering for rack scenarios (ignored when nodes == 1). */
+    cluster::IngressConfig ingress;
     /// @}
 
     /// @name Traffic.
@@ -195,6 +204,13 @@ class ScenarioBuilder
     ScenarioBuilder &addCore(sim::RunConfig core);
     /** Replace the batch co-runner on core @p index. */
     ScenarioBuilder &coRunner(std::size_t index, std::string workload);
+    /** Rack width: replicate the cores topology onto @p n nodes behind
+     *  the ingress (1 = the historical single-fleet path). */
+    ScenarioBuilder &nodes(unsigned n);
+    /** Replace the whole ingress-steering block (rack scenarios). */
+    ScenarioBuilder &ingress(cluster::IngressConfig cfg);
+    /** Pick just the ingress steering policy (rack scenarios). */
+    ScenarioBuilder &ingressPolicy(cluster::IngressPolicy policy);
     /// @}
 
     /// @name Traffic.
@@ -296,8 +312,28 @@ sim::FleetConfig lower(const Scenario &s);
  *  When `reportPath`/`tracePath` are set the run is instrumented and
  *  the artifacts are written before returning; otherwise this is the
  *  zero-overhead fast path (no tracer, no registry, the untouched
- *  engine loop). */
+ *  engine loop). Rack scenarios (nodes > 1) route through `runRack`
+ *  and return the merged cluster-level view. */
 sim::FleetResult run(const Scenario &s);
+
+/**
+ * Resolve a rack scenario (nodes > 1) to the `ClusterConfig` that
+ * `runRack` would execute: the per-node fleet is the scenario lowered
+ * as a single node (shared calibration/operating-point caches), the
+ * rack is its homogeneous replication with decorrelated per-node
+ * seeds, rate fractions resolve against the summed node capacities,
+ * and the scenario's incidents compile to ingress `NodeAction`s
+ * (FlashCrowd / NodeDegradation / NodeFailure only — fatal on any
+ * other kind, which `ScenarioBuilder` already rejects).
+ */
+cluster::ClusterConfig lowerRack(const Scenario &s);
+
+/** Run a rack scenario end to end through `cluster::runCluster`.
+ *  `tracePath` writes the merged per-node Chrome trace
+ *  (`obs::writeClusterTraceFile`); `reportPath` writes a run report
+ *  over the merged cluster-level result with the `ingress.*` /
+ *  `cluster.*` metric fill attached. */
+cluster::ClusterResult runRack(const Scenario &s);
 
 /**
  * A finished instrumented run: the fleet result plus whichever

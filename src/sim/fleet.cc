@@ -16,6 +16,7 @@
 #include "stats/streaming_tail.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/seed_stream.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
 
@@ -197,7 +198,7 @@ homogeneousFleet(unsigned n, const RunConfig &base)
     fleet.cores.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
         RunConfig core = base;
-        core.seed = mixSeed(base.seed, i);
+        core.seed = util::deriveSeed(base.seed, i);
         fleet.cores.push_back(core);
     }
     fleet.seed = base.seed;
@@ -230,6 +231,26 @@ dispatchRequests(const DispatchConfig &cfg)
     const bool dynamic = mc.kind != ModePolicyKind::Static;
     const bool classesOn = !cfg.classes.empty();
     const bool perClassArr = cfg.perClassArrivals;
+    // Pre-steered replay: the ingress already fixed every arrival time,
+    // class tag, and demand; the request count is the list length.
+    const bool injectedOn = cfg.injected != nullptr;
+    const std::uint64_t requests =
+        injectedOn ? cfg.injected->size() : cfg.requests;
+    if (injectedOn) {
+        double prevMs = 0.0;
+        for (const InjectedArrival &ia : *cfg.injected) {
+            STRETCH_ASSERT(ia.atMs >= prevMs,
+                           "injected arrivals must be sorted by atMs");
+            STRETCH_ASSERT(ia.demand > 0.0,
+                           "injected demand must be positive");
+            STRETCH_ASSERT(ia.latencyOffsetMs >= 0.0,
+                           "injected latency offset must be >= 0");
+            STRETCH_ASSERT(ia.classId == 0 ||
+                               ia.classId < cfg.classes.size(),
+                           "injected arrival tags an unregistered class");
+            prevMs = ia.atMs;
+        }
+    }
     STRETCH_ASSERT(cfg.policy != PlacementPolicy::ClassAware || classesOn,
                    "class-aware placement needs a non-empty class "
                    "registry");
@@ -274,6 +295,10 @@ dispatchRequests(const DispatchConfig &cfg)
         switch (a.kind) {
         case IncidentAction::Kind::ArrivalScale:
             STRETCH_ASSERT(a.value > 0.0, "arrival scale must be positive");
+            STRETCH_ASSERT(!injectedOn,
+                           "arrival-scaling incidents must be applied "
+                           "upstream of an injected stream (the ingress "
+                           "owns the arrival clock)");
             break;
         case IncidentAction::Kind::CoreRateScale:
             STRETCH_ASSERT(a.core < n, "incident targets a core outside "
@@ -295,6 +320,9 @@ dispatchRequests(const DispatchConfig &cfg)
             STRETCH_ASSERT(a.value >= 0.0, "storm gain must be >= 0");
             STRETCH_ASSERT(a.value2 > 0.0,
                            "storm lateness threshold must be positive");
+            STRETCH_ASSERT(!injectedOn,
+                           "retry storms couple to the arrival clock, "
+                           "which an injected stream owns upstream");
             break;
         case IncidentAction::Kind::RetryStormTick:
         case IncidentAction::Kind::RetryStormEnd:
@@ -343,7 +371,7 @@ dispatchRequests(const DispatchConfig &cfg)
     } else {
         out.offeredRatePerMs = 0.7 * capacity;
     }
-    if (cfg.requests == 0)
+    if (requests == 0)
         return out;
 
     Rng arrivalsRng(cfg.seed, arrivalStream);
@@ -365,7 +393,7 @@ dispatchRequests(const DispatchConfig &cfg)
             const workloads::ClassTraffic &t =
                 classesLive.at(static_cast<workloads::ClassId>(k)).traffic;
             double rate = shares[k] * out.offeredRatePerMs;
-            Rng rng(cfg.seed, mixSeed(arrivalStream, k));
+            Rng rng(util::deriveSeed(cfg.seed, arrivalStream, k));
             auto process = [&]() -> queueing::ArrivalProcess {
                 if (cfg.diurnalTrace) {
                     return queueing::ArrivalProcess::diurnal(
@@ -491,7 +519,7 @@ dispatchRequests(const DispatchConfig &cfg)
 
     queueing::EventEngine engine(n, cfg.queueKind);
     stats::TailRecorder latencies(exact);
-    latencies.reserve(cfg.requests);
+    latencies.reserve(requests);
     std::size_t rr_next = 0; // round-robin cursor over serving cores
 
     // Gap draws are batched: arrivalsRng feeds nothing but interarrival
@@ -510,8 +538,25 @@ dispatchRequests(const DispatchConfig &cfg)
     std::array<double, 256> demandBlock;
     std::size_t demandNext = demandBlock.size();
 
+    // Injected-replay cursor: the engine asks for the arrival and then
+    // immediately for that same request's demand, so one cursor serves
+    // both hooks (demandFn reads the record arrivalFn just consumed).
+    std::size_t injectedNext = 0;
+    double injectedPrevMs = 0.0;
+
     auto arrivalFn = [&]() -> queueing::EventEngine::Arrival {
         queueing::EventEngine::Arrival a;
+        if (injectedOn) {
+            // Replay the pre-steered stream: absolute times become gaps
+            // (the list is sorted, so gaps are never negative). The
+            // ingress owns the arrival clock — node-local arrival
+            // scaling is rejected up front.
+            const InjectedArrival &ia = (*cfg.injected)[injectedNext++];
+            a.gapMs = ia.atMs - injectedPrevMs;
+            injectedPrevMs = ia.atMs;
+            a.classId = ia.classId;
+            return a;
+        }
         if (perClassArr) {
             // Superposed per-class streams fix the gap and tag jointly.
             a = classArrivals->next();
@@ -532,6 +577,8 @@ dispatchRequests(const DispatchConfig &cfg)
         return a;
     };
     auto demandFn = [&](std::uint32_t cls) {
+        if (injectedOn)
+            return (*cfg.injected)[injectedNext - 1].demand;
         if (classesOn)
             return classesLive.drawDemand(cls, demandsRng);
         if (demandNext == demandBlock.size()) {
@@ -637,25 +684,34 @@ dispatchRequests(const DispatchConfig &cfg)
         return start + demand / rate[s];
     };
     auto completeFn = [&](const queueing::Completion &c) {
-        latencies.record(c.latencyMs());
+        // End-to-end sojourn: the node-local latency plus whatever the
+        // request accrued upstream (ingress re-steering) — zero except
+        // under injected replay. All recorded statistics and SLO
+        // verdicts use the end-to-end figure; the control loop's
+        // monitors (below) keep seeing the node-local sojourn only, as
+        // a real node cannot react to time spent elsewhere.
+        double e2eMs = c.latencyMs();
+        if (injectedOn)
+            e2eMs += (*cfg.injected)[c.index].latencyOffsetMs;
+        latencies.record(e2eMs);
         if (stormOn) {
             // Retry-storm feedback window: count completions and how
             // many of them came back late; the next tick converts the
             // lateness fraction into the storm's arrival multiplier.
             ++stormDone;
-            if (c.latencyMs() > stormLateMs)
+            if (e2eMs > stormLateMs)
                 ++stormLate;
         }
         if (classesOn) {
-            classLatencies[c.classId].record(c.latencyMs());
-            if (c.latencyMs() <= classesLive.at(c.classId).sloMs)
+            classLatencies[c.classId].record(e2eMs);
+            if (e2eMs <= classesLive.at(c.classId).sloMs)
                 ++classGood[c.classId];
         }
         if (timelineOn) {
             std::size_t b = bucketAt(c.finishMs);
-            bucketLatencies[b].record(c.latencyMs());
+            bucketLatencies[b].record(e2eMs);
             if (classesOn)
-                bucketClassLatencies[b][c.classId].record(c.latencyMs());
+                bucketClassLatencies[b][c.classId].record(e2eMs);
         }
         if (controls[c.server]) {
             // With classes, each class feeds its own monitor (targeting
@@ -900,9 +956,9 @@ dispatchRequests(const DispatchConfig &cfg)
         for (std::size_t c : servingIdx)
             tracer->modeBegin(c, 0.0, toString(mode[c]));
         obs::TracedPolicy<decltype(policy)> traced(policy, *tracer);
-        engine.run(cfg.requests, traced);
+        engine.run(requests, traced);
     } else {
-        engine.run(cfg.requests, policy);
+        engine.run(requests, policy);
     }
 
     // Close out the mode and throttle timelines at the makespan.
@@ -980,6 +1036,7 @@ dispatchRequests(const DispatchConfig &cfg)
             if (classLatencies[k].count() > 0)
                 co.tailMs = classLatencies[k].percentile(sc.tailPercentile);
             std::uint64_t offered = co.completed + co.shed;
+            co.sloGood = classGood[k];
             co.sloAttainment =
                 offered > 0 ? static_cast<double>(classGood[k]) /
                                   static_cast<double>(offered)
@@ -1000,7 +1057,7 @@ dispatchRequests(const DispatchConfig &cfg)
     // event loop nothing.
     if (cfg.metrics) {
         obs::MetricRegistry &reg = *cfg.metrics;
-        reg.counter("engine.arrivals") += cfg.requests;
+        reg.counter("engine.arrivals") += requests;
         reg.counter("engine.completions") += latencies.count();
         reg.counter("engine.sheds") += out.totalShed;
         reg.counter("engine.quantum_boundaries") += quantaFired;
@@ -1060,6 +1117,14 @@ dispatchRequests(const DispatchConfig &cfg)
             reg.gauge(prefix + "slo_attainment") = co.sloAttainment;
             classLatencies[k].mergeInto(reg.tail(prefix + "latency_ms"));
         }
+    }
+
+    // Hand the raw recorders to the caller last — every summary and
+    // metric above has already been derived from them.
+    if (cfg.keepRecorders) {
+        out.latencyRecorder = std::move(latencies);
+        out.classRecorders = std::move(classLatencies);
+        out.timelineRecorders = std::move(bucketLatencies);
     }
     return out;
 }
@@ -1253,6 +1318,8 @@ runFleet(const FleetConfig &cfg)
     dispatch.control = cfg.modeControl;
     dispatch.tracer = cfg.tracer;
     dispatch.metrics = cfg.metrics;
+    dispatch.injected = cfg.injected;
+    dispatch.keepRecorders = cfg.keepRecorders;
     fleet.dispatch = dispatchRequests(dispatch);
 
     // Close the loop's throughput accounting: weight each core's batch

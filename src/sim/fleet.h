@@ -63,6 +63,7 @@
 #include "queueing/diurnal.h"
 #include "sim/class_router.h"
 #include "sim/runner.h"
+#include "stats/streaming_tail.h"
 #include "stats/summary.h"
 #include "workload/service_class.h"
 
@@ -277,6 +278,25 @@ struct IncidentAction
 /** Human-readable incident-action kind (also the trace event name). */
 const char *toString(IncidentAction::Kind kind);
 
+/**
+ * One pre-steered arrival, handed to the dispatcher by the cluster
+ * ingress: the absolute arrival time at this node, the class tag, the
+ * unit-mean demand the ingress already drew for the request, and any
+ * latency the request accumulated *before* reaching the node (failover
+ * or migration re-steering). The dispatcher replays the stream instead
+ * of drawing its own arrivals and demands, and adds `latencyOffsetMs`
+ * to the recorded sojourn — end-to-end accounting — while the control
+ * loop's monitors keep seeing the node-local sojourn only (the node
+ * cannot react to time the request spent elsewhere).
+ */
+struct InjectedArrival
+{
+    double atMs = 0.0;            ///< arrival time at this node
+    std::uint32_t classId = 0;    ///< service-class tag
+    double demand = 1.0;          ///< unit-mean demand units
+    double latencyOffsetMs = 0.0; ///< pre-arrival delay (steering cost)
+};
+
 /** Full description of a request-dispatch experiment over fixed cores. */
 struct DispatchConfig
 {
@@ -402,6 +422,25 @@ struct DispatchConfig
     obs::EngineTracer *tracer = nullptr;
     obs::MetricRegistry *metrics = nullptr;
     /// @}
+
+    /**
+     * Pre-steered arrival stream (non-owning; the cluster ingress sets
+     * it). When non-null the dispatcher replays exactly these arrivals:
+     * times, class tags, and demands come from the records — `requests`,
+     * the arrival/burstiness/diurnal knobs, and the demand distributions
+     * are all ignored — and each record's `latencyOffsetMs` is added to
+     * its recorded sojourn. The list must be sorted by `atMs`.
+     */
+    const std::vector<InjectedArrival> *injected = nullptr;
+
+    /**
+     * Keep the raw latency recorders in the outcome (fleet-wide,
+     * per-class, and per-timeline-bucket) so a cluster merge can combine
+     * per-node tails exactly — StreamingTail merges are associative and
+     * exact-mode recorders concatenate — instead of re-deriving
+     * quantiles from the folded summaries.
+     */
+    bool keepRecorders = false;
 };
 
 /** Latency/throughput summary of one timeline bucket (see
@@ -448,6 +487,10 @@ struct ClassOutcome
      */
     double sloAttainment = 0.0;
 
+    /** Completions that met the SLO (the attainment numerator) — kept
+     *  as a count so cluster merges can re-derive attainment exactly. */
+    std::uint64_t sloGood = 0;
+
     /** Did the class meet its SLO at its tail percentile? Judged on
      *  attainment over offered requests (at least tailPercentile% under
      *  target), so shed requests count against the verdict too. */
@@ -480,6 +523,16 @@ struct DispatchOutcome
 
     /** Requests dropped at admission across all classes. */
     std::uint64_t totalShed = 0;
+
+    /// @name Raw latency recorders (populated only when the config set
+    /// `keepRecorders`; empty otherwise). Index conventions match
+    /// `perClass` and `timeline`. The cluster layer merges these across
+    /// nodes to build exact fleet-of-fleets tails.
+    /// @{
+    stats::TailRecorder latencyRecorder;
+    std::vector<stats::TailRecorder> classRecorders;
+    std::vector<stats::TailRecorder> timelineRecorders;
+    /// @}
 
     /** Sum of mode transitions across the fleet. */
     std::uint64_t totalTransitions() const;
@@ -612,11 +665,19 @@ struct FleetConfig
     obs::EngineTracer *tracer = nullptr;
     obs::MetricRegistry *metrics = nullptr;
     /// @}
+
+    /** Pre-steered arrival stream, forwarded to the dispatcher (see
+     *  DispatchConfig::injected; non-owning, optional). */
+    const std::vector<InjectedArrival> *injected = nullptr;
+
+    /** Keep raw latency recorders in the dispatch outcome (see
+     *  DispatchConfig::keepRecorders). */
+    bool keepRecorders = false;
 };
 
 /**
  * Convenience: a fleet of @p n cores cloned from @p base, each with a
- * decorrelated seed (mixSeed(base.seed, core index)).
+ * decorrelated seed (deriveSeed(base.seed, core index)).
  */
 FleetConfig homogeneousFleet(unsigned n, const RunConfig &base);
 

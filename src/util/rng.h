@@ -26,10 +26,10 @@ namespace stretch
 class SplitMix64
 {
   public:
-    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+    constexpr explicit SplitMix64(std::uint64_t seed) : state(seed) {}
 
     /** Next 64-bit value. */
-    std::uint64_t
+    constexpr std::uint64_t
     next()
     {
         std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
@@ -42,8 +42,10 @@ class SplitMix64
     std::uint64_t state;
 };
 
-/** Stateless 64-bit mix of two values; used to derive per-stream seeds. */
-inline std::uint64_t
+/** Stateless 64-bit mix of two values; used to derive per-stream seeds.
+ *  Prefer `util::deriveSeed` (util/seed_stream.h) for multi-level stream
+ *  paths — it right-folds over this mix, so the two-argument forms agree. */
+constexpr std::uint64_t
 mixSeed(std::uint64_t a, std::uint64_t b)
 {
     SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ull) ^ 0x2545f4914f6cdd1dull);

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hierarchical RNG-stream derivation on top of `mixSeed`.
+ *
+ * Every random stream in the simulator is addressed by a *path* of
+ * integers — (scenario seed, node index, core index), (seed, stream
+ * tag, class index), and so on — and `deriveSeed` folds that path into
+ * one 64-bit seed through the SplitMix64-based `mixSeed` finalizer.
+ * The fold is a right fold:
+ *
+ *     deriveSeed(a, b)       == mixSeed(a, b)
+ *     deriveSeed(a, b, c)    == mixSeed(a, mixSeed(b, c))
+ *     deriveSeed(a, b, c, d) == mixSeed(a, mixSeed(b, mixSeed(c, d)))
+ *
+ * so the two-argument form is bit-compatible with every historical
+ * `mixSeed(seed, i)` call site, and a new hierarchy level prepends to
+ * the path without disturbing streams already derived from the tail.
+ * Distinct paths give decorrelated xoshiro streams (SplitMix64 is the
+ * seeding finalizer the xoshiro authors recommend); equal paths give
+ * identical streams on every platform — the property the serial ==
+ * parallel bit-identity tests lean on.
+ */
+
+#ifndef STRETCH_UTIL_SEED_STREAM_H
+#define STRETCH_UTIL_SEED_STREAM_H
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace stretch::util
+{
+
+/** Fold a stream path into one seed (right fold over `mixSeed`). */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t a, std::uint64_t b)
+{
+    return mixSeed(a, b);
+}
+
+template <typename... Rest>
+constexpr std::uint64_t
+deriveSeed(std::uint64_t a, std::uint64_t b, std::uint64_t c, Rest... rest)
+{
+    return mixSeed(a, deriveSeed(b, c, rest...));
+}
+
+} // namespace stretch::util
+
+#endif // STRETCH_UTIL_SEED_STREAM_H

@@ -213,6 +213,30 @@ TEST(EngineTracer, WritesChromeTraceDocument)
     EXPECT_NE(doc.find("\"ts\":1000"), std::string::npos) << doc;
 }
 
+TEST(EngineTracer, ClusterTraceMergesProcessGroups)
+{
+    // Two node tracers with distinct pids merge into one document: all
+    // process/track metadata first, then both nodes' events, each under
+    // its own pid.
+    obs::EngineTracer node0(1), node1(1);
+    node0.setProcess(1, "node 0");
+    node1.setProcess(2, "node 1");
+    node0.arrival(1.0, 0);
+    node1.arrival(2.0, 0);
+
+    std::ostringstream os;
+    obs::writeClusterTrace({&node0, &node1}, os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"node 0\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"node 1\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"pid\":2"), std::string::npos);
+    // Both nodes' arrivals survive the merge (ts in microseconds).
+    EXPECT_NE(doc.find("\"ts\":1000"), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\":2000"), std::string::npos);
+}
+
 TEST(EngineTracer, WindowSelectsOverlappingEvents)
 {
     obs::EngineTracer tr(1);

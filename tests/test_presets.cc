@@ -19,12 +19,13 @@ namespace stretch::scenario
 namespace
 {
 
-TEST(PresetRegistry, FourPresetsInRegistryOrder)
+TEST(PresetRegistry, FivePresetsInRegistryOrder)
 {
     EXPECT_EQ(presetNames(),
               (std::vector<std::string>{"fig13-sw-scheduling", "fig15-diurnal",
                                         "two-tenant-guardrail",
-                                        "search-analytics-mix"}));
+                                        "search-analytics-mix",
+                                        "rack-web-search"}));
 }
 
 TEST(PresetRegistry, EveryPresetBuildsValid)

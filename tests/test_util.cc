@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for the util substrate: deterministic RNG, Zipf sampling,
- * the log-bucketed latency histogram, and the thread pool.
+ * hierarchical seed derivation, the log-bucketed latency histogram, and
+ * the thread pool.
  */
 
 #include <algorithm>
@@ -20,6 +21,7 @@
 
 #include "util/histogram.h"
 #include "util/rng.h"
+#include "util/seed_stream.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
 
@@ -262,6 +264,35 @@ TEST(MixSeed, Distinct)
     EXPECT_NE(mixSeed(1, 2), mixSeed(2, 1));
     EXPECT_NE(mixSeed(1, 2), mixSeed(1, 3));
     EXPECT_EQ(mixSeed(5, 9), mixSeed(5, 9));
+}
+
+TEST(DeriveSeed, TwoArgFormIsMixSeedCompatible)
+{
+    // Every historical mixSeed(seed, i) call site must keep its stream.
+    EXPECT_EQ(util::deriveSeed(42, 7), mixSeed(42, 7));
+    EXPECT_EQ(util::deriveSeed(0, 0), mixSeed(0, 0));
+}
+
+TEST(DeriveSeed, RightFoldPrependsHierarchyLevels)
+{
+    // A new outer level (cluster seed -> node stream -> node index)
+    // wraps the tail without disturbing streams derived from it.
+    EXPECT_EQ(util::deriveSeed(1, 2, 3), mixSeed(1, mixSeed(2, 3)));
+    EXPECT_EQ(util::deriveSeed(1, 2, 3, 4),
+              mixSeed(1, util::deriveSeed(2, 3, 4)));
+}
+
+TEST(DeriveSeed, DistinctPathsDecorrelate)
+{
+    EXPECT_NE(util::deriveSeed(1, 2, 3), util::deriveSeed(1, 3, 2));
+    EXPECT_NE(util::deriveSeed(1, 2, 3), util::deriveSeed(2, 2, 3));
+    // Path length matters too: (a, b) and (a, b, 0) are different
+    // streams.
+    EXPECT_NE(util::deriveSeed(1, 2), util::deriveSeed(1, 2, 0));
+    // Usable at compile time (node streams are constexpr tags).
+    static_assert(util::deriveSeed(0x4e0d, 1, 2) ==
+                      mixSeed(0x4e0d, mixSeed(1, 2)),
+                  "deriveSeed must fold right");
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce)

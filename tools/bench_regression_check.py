@@ -3,7 +3,8 @@
 
 Reads two ``bench_to_json.py`` outputs and compares ``items_per_second``
 (simulated requests per second) for the end-to-end engine benches —
-names starting with ``BM_Engine`` or ``BM_Dispatch`` — in the embedded
+names starting with ``BM_Engine``, ``BM_Dispatch``, or ``BM_Cluster`` —
+in the embedded
 ``bench_perf_micro`` google-benchmark JSON. Exits 1 when any bench fell
 below ``(1 - threshold)`` times its baseline, 0 otherwise. Benches at or
 above ``(1 + threshold)`` times baseline are flagged IMPROVED — the cue
@@ -33,7 +34,7 @@ import json
 import sys
 from pathlib import Path
 
-TRACKED_PREFIXES = ("BM_Engine", "BM_Dispatch")
+TRACKED_PREFIXES = ("BM_Engine", "BM_Dispatch", "BM_Cluster")
 
 
 def engine_throughputs(path: Path):
@@ -55,7 +56,7 @@ def engine_throughputs(path: Path):
         if name.startswith(TRACKED_PREFIXES) and "items_per_second" in b:
             rates[name] = float(b["items_per_second"])
     if not rates:
-        return None, f"{path}: no BM_Engine*/BM_Dispatch* entries"
+        return None, f"{path}: no BM_Engine*/BM_Dispatch*/BM_Cluster* entries"
     return rates, None
 
 

@@ -24,7 +24,7 @@ import sys
 import time
 from pathlib import Path
 
-DEFAULT_BENCHES = ["bench_fig15_diurnal_fleet"]
+DEFAULT_BENCHES = ["bench_fig15_diurnal_fleet", "bench_cluster"]
 
 
 def parse_tables(stdout: str):
